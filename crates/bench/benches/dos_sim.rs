@@ -1,0 +1,22 @@
+//! Criterion bench regenerating dos_sim at bench scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp, experiments};
+
+fn bench_dos_sim(c: &mut Criterion) {
+    c.bench_function("dos_sim", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::bench());
+            std::hint::black_box(attacks_exp::dos_sim(&mut lab))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dos_sim
+}
+criterion_main!(benches);

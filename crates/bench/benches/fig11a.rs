@@ -1,0 +1,22 @@
+//! Criterion bench regenerating fig11a at bench scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp, experiments};
+
+fn bench_fig11a(c: &mut Criterion) {
+    c.bench_function("fig11a", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::bench());
+            std::hint::black_box(experiments::fig11a(&mut lab))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig11a
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench regenerating fig11b at bench scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp, experiments};
+
+fn bench_fig11b(c: &mut Criterion) {
+    c.bench_function("fig11b", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::bench());
+            std::hint::black_box(experiments::fig11b(&mut lab))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig11b
+}
+criterion_main!(benches);

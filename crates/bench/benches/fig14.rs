@@ -1,0 +1,15 @@
+//! Criterion bench regenerating fig14 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14", |b| b.iter(|| std::hint::black_box(attacks_exp::fig14())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig14
+}
+criterion_main!(benches);

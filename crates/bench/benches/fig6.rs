@@ -1,0 +1,22 @@
+//! Criterion bench regenerating fig6 at bench scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp, experiments};
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::bench());
+            std::hint::black_box(experiments::fig6(&mut lab))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench regenerating fig9 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9", |b| b.iter(|| std::hint::black_box(analytic::fig9())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+}
+criterion_main!(benches);

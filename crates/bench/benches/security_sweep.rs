@@ -1,0 +1,15 @@
+//! Criterion bench regenerating security_sweep (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_security_sweep(c: &mut Criterion) {
+    c.bench_function("security_sweep", |b| b.iter(|| std::hint::black_box(attacks_exp::security_sweep(1))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_security_sweep
+}
+criterion_main!(benches);

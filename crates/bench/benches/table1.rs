@@ -1,0 +1,15 @@
+//! Criterion bench regenerating table1 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| std::hint::black_box(analytic::table1())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench regenerating table10 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_table10(c: &mut Criterion) {
+    c.bench_function("table10", |b| b.iter(|| std::hint::black_box(analytic::table10_report())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table10
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench regenerating table11 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_table11(c: &mut Criterion) {
+    c.bench_function("table11", |b| b.iter(|| std::hint::black_box(analytic::table11_report())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table11
+}
+criterion_main!(benches);

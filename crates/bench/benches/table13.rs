@@ -1,0 +1,22 @@
+//! Criterion bench regenerating table13 at bench scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp, experiments};
+
+fn bench_table13(c: &mut Criterion) {
+    c.bench_function("table13", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::bench());
+            std::hint::black_box(experiments::table13(&mut lab))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table13
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench regenerating table2 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2", |b| b.iter(|| std::hint::black_box(analytic::table2_report())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2
+}
+criterion_main!(benches);

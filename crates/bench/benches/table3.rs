@@ -1,0 +1,15 @@
+//! Criterion bench regenerating table3 (analytic).
+use criterion::{criterion_group, criterion_main, Criterion};
+#[allow(unused_imports)]
+use mirza_bench::{analytic, attacks_exp};
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3", |b| b.iter(|| std::hint::black_box(analytic::table3())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

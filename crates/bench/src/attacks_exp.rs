@@ -1,0 +1,256 @@
+//! Adversarial experiment regenerators: the Appendix-B reset-policy attack
+//! (Figure 14), the worst-case security sweep across trackers, and the
+//! simulated denial-of-service kernel (Figure 12 / Table XI cross-check).
+
+use std::fmt::Write as _;
+
+use mirza_core::config::MirzaConfig;
+use mirza_core::mirza::Mirza;
+use mirza_core::rct::ResetPolicy;
+use mirza_dram::address::BankId;
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::Mitigator;
+use mirza_dram::timing::TimingParams;
+use mirza_security::montecarlo::{run_hammer, HammerHarness};
+use mirza_sim::runner::{run_with_attacker, run_workload};
+use mirza_trackers::mithril::Mithril;
+use mirza_trackers::prac::PracMoat;
+use mirza_trackers::trr::Trr;
+use mirza_workloads::attacks::RowPattern;
+
+use crate::lab::Lab;
+
+/// Appendix-B scenario against *eager* reset: FTH-1 ACTs on the region's
+/// last row just before the region's first REF, plus FTH-1 during its
+/// walk. Returns the max unmitigated count.
+pub fn reset_policy_attack(policy: ResetPolicy, fth: u32) -> u32 {
+    let geom = Geometry::ddr5_32gb();
+    let timing = TimingParams::ddr5_6000();
+    let cfg = MirzaConfig {
+        fth,
+        mint_w: 4,
+        ..MirzaConfig::trhd_1000()
+    };
+    let mut m = Mirza::with_reset_policy(cfg, &geom, 23, policy);
+    let mapping = *m.mapping().expect("MIRZA exposes its mapping");
+    // Region 5 covers physical rows 5120..6144 (REF steps 320..384);
+    // target its last physical row.
+    let target = mapping.row_of(6143);
+    let mut h = HammerHarness::new(&mut m, &geom, &timing, 0);
+    let mut p = RowPattern::single_sided(target);
+    for _ in 0..315 {
+        h.idle_interval();
+    }
+    for _ in 0..4 {
+        h.burst(&mut p, (fth - 1) / 4);
+        h.idle_interval();
+    }
+    h.burst(&mut p, (fth - 1) - 4 * ((fth - 1) / 4));
+    h.idle_interval(); // step 319
+    h.idle_interval(); // step 320: region 5's first REF
+    for _ in 0..8 {
+        h.burst(&mut p, (fth - 1) / 8);
+        h.idle_interval();
+    }
+    h.finish().max_unmitigated_acts
+}
+
+/// Appendix-B scenario against *lazy* reset: FTH-1 ACTs on the region's
+/// first row while the region walk runs, plus FTH-1 after the last REF
+/// clears the counter. Returns the max unmitigated count.
+pub fn reset_policy_attack_early_row(policy: ResetPolicy, fth: u32) -> u32 {
+    let geom = Geometry::ddr5_32gb();
+    let timing = TimingParams::ddr5_6000();
+    let cfg = MirzaConfig {
+        fth,
+        mint_w: 4,
+        ..MirzaConfig::trhd_1000()
+    };
+    let mut m = Mirza::with_reset_policy(cfg, &geom, 29, policy);
+    let mapping = *m.mapping().expect("MIRZA exposes its mapping");
+    // Region 5's first physical row; it is refreshed by REF step 320, so
+    // the attack window opens clean.
+    let target = mapping.row_of(5120);
+    let mut h = HammerHarness::new(&mut m, &geom, &timing, 0);
+    let mut p = RowPattern::single_sided(target);
+    for _ in 0..321 {
+        h.idle_interval(); // through step 320 (region 5 walk begins)
+    }
+    // Phase 1: FTH-1 ACTs during the walk (steps 321..384).
+    for _ in 0..8 {
+        h.burst(&mut p, (fth - 1) / 8);
+        h.idle_interval();
+    }
+    h.burst(&mut p, (fth - 1) - 8 * ((fth - 1) / 8));
+    // Finish the walk: the region's last REF is step 383.
+    for _ in 329..384 {
+        h.idle_interval();
+    }
+    // Phase 2: FTH-1 ACTs after the (lazy) reset.
+    for _ in 0..4 {
+        h.burst(&mut p, (fth - 1) / 4);
+        h.idle_interval();
+    }
+    h.finish().max_unmitigated_acts
+}
+
+/// Figure 14 / Appendix B: unmitigated ACTs under each RCT reset policy.
+/// Each policy faces both straddle variants; the worst is reported.
+pub fn fig14() -> String {
+    let fth = 300;
+    let mut out = format!(
+        "Figure 14 / Appendix B: RCT reset policies under the straddle attacks (FTH={fth})\n\
+         policy   max unmitigated ACTs   verdict\n"
+    );
+    for (policy, name) in [
+        (ResetPolicy::Safe, "safe"),
+        (ResetPolicy::Eager, "eager"),
+        (ResetPolicy::Lazy, "lazy"),
+    ] {
+        let max = reset_policy_attack(policy, fth)
+            .max(reset_policy_attack_early_row(policy, fth));
+        let verdict = if f64::from(max) >= 1.7 * f64::from(fth) {
+            "UNSAFE (near 2xFTH)"
+        } else {
+            "bounded"
+        };
+        let _ = writeln!(out, "{name:<8} {max:<22} {verdict}");
+    }
+    out
+}
+
+/// Security sweep: worst-case unmitigated ACTs per tracker under its
+/// strongest implemented pattern, against the Section VI bounds.
+pub fn security_sweep(windows: u64) -> String {
+    let geom = Geometry::ddr5_32gb();
+    let timing = TimingParams::ddr5_6000();
+    let refs = windows * u64::from(geom.refs_per_full_walk());
+    let mut out = String::from(
+        "Security sweep: max unmitigated ACTs (attack patterns at full rate)\n\
+         tracker        pattern          max ACTs   bound     holds?\n",
+    );
+    let mut report = |name: &str, pattern: &str, max: u32, bound: u32| {
+        let holds = if max < bound { "yes" } else { "NO" };
+        let _ = writeln!(out, "{name:<14} {pattern:<16} {max:<10} {bound:<9} {holds}");
+    };
+
+    // MIRZA at each Table VII threshold, double-sided.
+    for cfg in [
+        MirzaConfig::trhd_500(),
+        MirzaConfig::trhd_1000(),
+        MirzaConfig::trhd_2000(),
+    ] {
+        let mut m = Mirza::new(cfg, &geom, 7);
+        let mapping = *m.mapping().expect("mapping");
+        let mut p = RowPattern::double_sided(&mapping, 5_000);
+        let o = run_hammer(&mut m, &geom, &timing, 0, &mut p, refs);
+        report(
+            &format!("mirza-{}", cfg.target_trhd),
+            "double-sided",
+            o.max_unmitigated_acts,
+            cfg.safe_trhd(),
+        );
+    }
+    // MIRZA same-region CGF-evasion pattern.
+    {
+        let cfg = MirzaConfig::trhd_1000();
+        let mut m = Mirza::new(cfg, &geom, 13);
+        let mapping = *m.mapping().expect("mapping");
+        let regions = *m.rct().expect("rct").regions();
+        let mut p = RowPattern::same_region(&mapping, &regions, 3, 8);
+        let o = run_hammer(&mut m, &geom, &timing, 0, &mut p, refs);
+        report("mirza-1000", "same-region", o.max_unmitigated_acts, cfg.safe_trhd());
+    }
+    // PRAC/MOAT.
+    {
+        let mut p = PracMoat::for_trhd(1000, &geom);
+        let mut pat = RowPattern::single_sided(4_242);
+        let o = run_hammer(&mut p, &geom, &timing, 0, &mut pat, refs);
+        report("prac-moat", "single-sided", o.max_unmitigated_acts, 1000);
+    }
+    // Mithril holds; TRR breaks under the decoy flood.
+    let decoy_pattern = || {
+        let mut rows = Vec::new();
+        for d in 0..56u32 {
+            rows.push(40_000 + d * 8);
+            rows.push(40_000 + d * 8);
+        }
+        rows.push(20_001);
+        rows.push(20_003);
+        RowPattern::circular(rows)
+    };
+    {
+        let mut m = Mithril::new(2048, 1, &geom);
+        let mut pat = decoy_pattern();
+        let o = run_hammer(&mut m, &geom, &timing, 0, &mut pat, refs.max(16384));
+        report("mithril-2K", "decoy flood", o.max_unmitigated_acts, 4800);
+    }
+    {
+        let mut t = Trr::ddr4_like(&geom);
+        let mut pat = decoy_pattern();
+        let o = run_hammer(&mut t, &geom, &timing, 0, &mut pat, refs.max(16384));
+        report("trr", "decoy flood", o.max_unmitigated_acts, 4800);
+    }
+    out
+}
+
+/// Simulated DoS cross-check of Table XI: one attacker core replays the
+/// Figure-12 same-region kernel against MIRZA; benign slowdown is compared
+/// with the analytic model.
+pub fn dos_sim(lab: &mut Lab) -> String {
+    let mut out = String::from(
+        "Simulated performance attack (Figure 12 kernel, benign = lbm x7)\n\
+         MINT-W   measured slowdown   analytic bound\n",
+    );
+    let timing = TimingParams::ddr5_6000();
+    for w in [8u32, 12, 16] {
+        let base_cfg = MirzaConfig::sensitivity_1000(w);
+        let mitigation = mirza_sim::config::MitigationConfig::Mirza {
+            cfg: lab.scale().mirza_config(base_cfg),
+            policy: ResetPolicy::Safe,
+        };
+        let cfg = lab.scale().sim_config(mitigation);
+        let geom = cfg.geometry;
+        let mapping = mirza_dram::address::RowMapping::new(
+            base_cfg.mapping,
+            geom.rows_per_bank,
+            geom.subarrays_per_bank,
+        );
+        let regions =
+            mirza_dram::address::RegionMap::new(geom.rows_per_bank, base_cfg.regions_per_bank);
+        let pattern = RowPattern::same_region(&mapping, &regions, 3, 16);
+        let attacked = run_with_attacker(&cfg, "lbm", BankId::new(0, 0, 0), &pattern);
+        let mut solo_cfg = cfg.clone();
+        solo_cfg.cores -= 1;
+        let solo = run_workload(&solo_cfg, "lbm");
+        let slowdown = 1.0 / (attacked.weighted_speedup(&solo) / solo.core_ipc.len() as f64);
+        let bound = mirza_security::dos::mirza_attack_slowdown(&timing, w);
+        let _ = writeln!(out, "{w:<8} {slowdown:>8.2}x           {bound:.2}x");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn fig14_flags_eager_and_lazy_as_unsafe() {
+        let t = fig14();
+        for policy in ["eager", "lazy"] {
+            let line = t.lines().find(|l| l.starts_with(policy)).unwrap();
+            assert!(line.contains("UNSAFE"), "{t}");
+        }
+        let safe = t.lines().find(|l| l.starts_with("safe")).unwrap();
+        assert!(safe.contains("bounded"), "{t}");
+    }
+
+    #[test]
+    fn dos_sim_renders() {
+        let mut lab = Lab::new(Scale::smoke());
+        let t = dos_sim(&mut lab);
+        assert!(t.contains("MINT-W"));
+        assert_eq!(t.lines().count(), 5);
+    }
+}

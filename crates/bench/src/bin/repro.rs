@@ -1,0 +1,143 @@
+//! `repro` — regenerate any table or figure of the MIRZA paper.
+//!
+//! ```text
+//! repro <experiment|all> [--smoke|--fast|--full] [--seed N] [--quiet]
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table5 table6 table7 table8 table9
+//!   table10 table11 table12 table13
+//!   fig3 fig6 fig9 fig11a fig11b fig13 fig14
+//!   security dos-sim
+//! ```
+//!
+//! `--fast` (default) runs the self-consistent 1/16-scaled setup; `--full`
+//! runs the paper-scale configuration (hours); `--smoke` is a seconds-long
+//! sanity pass over three workloads.
+
+use std::process::ExitCode;
+
+use mirza_bench::analytic;
+use mirza_bench::attacks_exp;
+use mirza_bench::experiments;
+use mirza_bench::extensions;
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+
+const SIM_EXPERIMENTS: &[&str] = &[
+    // Ordered so the cheapest, highest-value experiments complete first;
+    // the ALERT-storm-heavy Table V and the attacker simulation come last.
+    "table4", "fig6", "fig11a", "fig11b", "table8", "fig13", "table9", "table6", "fig3",
+    "table13", "table5", "dos-sim",
+];
+const ANALYTIC_EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table7", "fig9", "table10", "table11", "table12",
+];
+const ATTACK_EXPERIMENTS: &[&str] = &["fig14", "security"];
+const EXTENSION_EXPERIMENTS: &[&str] = &[
+    "ablation-mapping",
+    "ablation-qth",
+    "ablation-queue",
+    "ablation-regions",
+    "para",
+];
+
+fn run_experiment(name: &str, lab: &mut Lab) -> Option<String> {
+    Some(match name {
+        "table1" => analytic::table1(),
+        "table2" => analytic::table2_report(),
+        "table3" => analytic::table3(),
+        "table7" => analytic::table7(),
+        "fig9" => analytic::fig9(),
+        "table10" => analytic::table10_report(),
+        "table11" => analytic::table11_report(),
+        "table12" => analytic::table12(),
+        "table4" => experiments::table4(lab),
+        "fig3" => experiments::fig3(lab),
+        "table5" => experiments::table5(lab),
+        "fig6" => experiments::fig6(lab),
+        "table6" => experiments::table6(lab),
+        "fig11a" => experiments::fig11a(lab),
+        "fig11b" => experiments::fig11b(lab),
+        "table8" => experiments::table8(lab),
+        "table9" => experiments::table9(lab),
+        "fig13" => experiments::fig13(lab),
+        "table13" => experiments::table13(lab),
+        "fig14" => attacks_exp::fig14(),
+        "security" => attacks_exp::security_sweep(1),
+        "dos-sim" => attacks_exp::dos_sim(lab),
+        "ablation-mapping" => extensions::ablation_mapping(lab),
+        "ablation-qth" => extensions::ablation_qth(lab),
+        "ablation-queue" => extensions::ablation_queue(lab),
+        "ablation-regions" => extensions::ablation_regions(lab),
+        "para" => extensions::para_comparison(lab),
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <experiment|all|ablations> [--smoke|--fast|--full] [--seed N] [--csv FILE] [--quiet]\n\
+         experiments: {} {} {} {}",
+        ANALYTIC_EXPERIMENTS.join(" "),
+        SIM_EXPERIMENTS.join(" "),
+        ATTACK_EXPERIMENTS.join(" "),
+        EXTENSION_EXPERIMENTS.join(" "),
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::fast();
+    let mut target: Option<String> = None;
+    let mut verbose = true;
+    let mut csv: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--fast" => scale = Scale::fast(),
+            "--full" => scale = Scale::full(),
+            "--quiet" => verbose = false,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => scale.seed = s,
+                None => return usage(),
+            },
+            "--csv" => match it.next() {
+                Some(p) => csv = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            name if !name.starts_with('-') && target.is_none() => {
+                target = Some(name.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(target) = target else {
+        return usage();
+    };
+    let mut lab = Lab::new(scale);
+    lab.verbose = verbose;
+    lab.csv_path = csv;
+    let names: Vec<&str> = if target == "all" {
+        ANALYTIC_EXPERIMENTS
+            .iter()
+            .chain(SIM_EXPERIMENTS)
+            .chain(ATTACK_EXPERIMENTS)
+            .copied()
+            .collect()
+    } else if target == "ablations" {
+        EXTENSION_EXPERIMENTS.to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+    for name in names {
+        match run_experiment(name, &mut lab) {
+            Some(table) => {
+                println!("{table}");
+            }
+            None => return usage(),
+        }
+    }
+    ExitCode::SUCCESS
+}

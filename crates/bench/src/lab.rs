@@ -1,0 +1,157 @@
+//! Run cache: experiments share simulation runs (the baseline run of each
+//! workload backs every slowdown column), so the lab memoizes reports by
+//! (mitigation label, workload).
+
+use std::collections::HashMap;
+
+use mirza_core::config::MirzaConfig;
+use mirza_core::rct::ResetPolicy;
+use mirza_sim::config::MitigationConfig;
+use mirza_sim::report::SimReport;
+use mirza_sim::runner::run_workload;
+
+use crate::scale::Scale;
+
+/// Memoizing experiment runner.
+pub struct Lab {
+    scale: Scale,
+    cache: HashMap<String, SimReport>,
+    /// Print progress lines while running (on for the CLI, off in tests).
+    pub verbose: bool,
+    /// Append one CSV row per completed run to this file.
+    pub csv_path: Option<std::path::PathBuf>,
+}
+
+impl Lab {
+    /// Creates a lab at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Lab {
+            scale,
+            cache: HashMap::new(),
+            verbose: false,
+            csv_path: None,
+        }
+    }
+
+    fn append_csv(&self, report: &SimReport) {
+        use std::io::Write as _;
+        let Some(path) = &self.csv_path else {
+            return;
+        };
+        let new = !path.exists();
+        let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+            eprintln!("warning: cannot open {}", path.display());
+            return;
+        };
+        if new {
+            let _ = writeln!(f, "{}", SimReport::csv_header());
+        }
+        let _ = writeln!(f, "{}", report.csv_row());
+    }
+
+    /// The scale in force.
+    pub fn scale(&self) -> &Scale {
+        &self.scale
+    }
+
+    /// The workloads in scope.
+    pub fn workloads(&self) -> Vec<&'static str> {
+        self.scale.workloads.clone()
+    }
+
+    /// Runs (or recalls) `workload` under `mitigation`.
+    pub fn run(&mut self, mitigation: MitigationConfig, workload: &str) -> SimReport {
+        let key = format!("{}/{workload}", mitigation.label());
+        if let Some(r) = self.cache.get(&key) {
+            return r.clone();
+        }
+        if self.verbose {
+            eprintln!("  running {key} ...");
+        }
+        let cfg = self.scale.sim_config(mitigation);
+        let report = run_workload(&cfg, workload);
+        self.append_csv(&report);
+        self.cache.insert(key, report.clone());
+        report
+    }
+
+    /// The unprotected baseline report for `workload`.
+    pub fn baseline(&mut self, workload: &str) -> SimReport {
+        self.run(MitigationConfig::None, workload)
+    }
+
+    /// Percent slowdown of `mitigation` on `workload` versus baseline.
+    pub fn slowdown(&mut self, mitigation: MitigationConfig, workload: &str) -> f64 {
+        let base = self.baseline(workload);
+        self.run(mitigation, workload).slowdown_pct(&base)
+    }
+
+    /// Mean percent slowdown over all in-scope workloads.
+    pub fn avg_slowdown(&mut self, mitigation: MitigationConfig) -> f64 {
+        let ws = self.workloads();
+        let sum: f64 = ws.iter().map(|w| self.slowdown(mitigation, w)).sum();
+        sum / ws.len() as f64
+    }
+
+    /// MIRZA mitigation config for a target TRHD, scaled to this lab.
+    pub fn mirza(&self, trhd: u32) -> MitigationConfig {
+        let cfg = match trhd {
+            500 => MirzaConfig::trhd_500(),
+            1000 => MirzaConfig::trhd_1000(),
+            2000 => MirzaConfig::trhd_2000(),
+            4800 => MirzaConfig::trhd_4800(),
+            _ => panic!("no Table VII preset for TRHD {trhd}"),
+        };
+        MitigationConfig::Mirza {
+            cfg: self.scale.mirza_config(cfg),
+            policy: ResetPolicy::Safe,
+        }
+    }
+
+    /// MIRZA sensitivity config (Table IX) for a MINT window, scaled.
+    pub fn mirza_sensitivity(&self, mint_w: u32) -> MitigationConfig {
+        MitigationConfig::Mirza {
+            cfg: self.scale.mirza_config(MirzaConfig::sensitivity_1000(mint_w)),
+            policy: ResetPolicy::Safe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_identical_reports() {
+        let mut lab = Lab::new(Scale::smoke());
+        let a = lab.run(MitigationConfig::None, "lbm");
+        let b = lab.run(MitigationConfig::None, "lbm");
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.device.acts, b.device.acts);
+    }
+
+    #[test]
+    fn baseline_slowdown_is_zero() {
+        let mut lab = Lab::new(Scale::smoke());
+        let s = lab.slowdown(MitigationConfig::None, "lbm");
+        assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn mirza_config_is_scaled() {
+        let lab = Lab::new(Scale::smoke());
+        match lab.mirza(1000) {
+            MitigationConfig::Mirza { cfg, .. } => {
+                assert_eq!(cfg.fth, 1500 / 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no Table VII preset")]
+    fn unknown_trhd_panics() {
+        let lab = Lab::new(Scale::smoke());
+        let _ = lab.mirza(750);
+    }
+}

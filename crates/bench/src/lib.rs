@@ -1,0 +1,22 @@
+//! # mirza-bench — experiment regeneration harness
+//!
+//! One regenerator per table and figure of the paper's evaluation, shared
+//! between the `repro` binary (`cargo run -p mirza-bench --bin repro --release -- <exp>`)
+//! and the criterion benches.
+//!
+//! * [`analytic`] — Tables I, II, III, VII, X, XI, XII; Figure 9.
+//! * [`experiments`] — Tables IV, V, VI, VIII, IX, XIII; Figures 3, 6,
+//!   11a, 11b, 13 (full-system simulation, memoized in a [`lab::Lab`]).
+//! * [`attacks_exp`] — Figure 14 (reset policies), the security sweep, and
+//!   the simulated DoS cross-check of Table XI.
+//! * [`extensions`] — ablations beyond the published tables (mapping, QTH,
+//!   queue capacity, region count, PARA comparison).
+//! * [`scale`] — the consistent 1/N scaling of the evaluation setup
+//!   (`--smoke`, `--fast`, `--full`).
+
+pub mod analytic;
+pub mod extensions;
+pub mod attacks_exp;
+pub mod experiments;
+pub mod lab;
+pub mod scale;

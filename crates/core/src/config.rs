@@ -1,0 +1,241 @@
+//! MIRZA configuration presets (Table VII) and the SRAM budget model.
+
+use mirza_dram::address::MappingScheme;
+
+/// Number of ACTs an attacker can land on a queued row after ALERT triggers
+/// and before its mitigation completes (Phase-D, Figure 10): three ACTs in
+/// the first prologue, the mandatory epilogue ACT, and three ACTs in the
+/// second prologue — the hammered entry becomes the highest-count entry and
+/// is popped at the second back-off.
+pub const ABO_EXTRA_ACTS: u32 = 7;
+
+/// Default Queue Tardiness Threshold (Section VI-C).
+pub const DEFAULT_QTH: u32 = 16;
+
+/// Default MIRZA-Q capacity (Section IV-A).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4;
+
+/// Rowhammer blast radius assumed by mitigation: victims refreshed on each
+/// side of an aggressor (2 -> four victim rows per mitigation).
+pub const BLAST_RADIUS: u32 = 2;
+
+/// Calibrated MINT tolerated double-sided threshold for window `w`
+/// (fit to the published MINT data points; see DESIGN.md §3.4).
+pub fn mint_tolerated_trhd(w: u32) -> u32 {
+    20 * w
+}
+
+/// Calibrated MINT tolerated single-sided threshold for window `w`.
+pub fn mint_tolerated_trhs(w: u32) -> u32 {
+    40 * w
+}
+
+/// Full parameterization of one MIRZA instance (per bank structures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MirzaConfig {
+    /// Target double-sided Rowhammer threshold this config tolerates.
+    pub target_trhd: u32,
+    /// Filtering threshold: RCT counters at or below this filter ACTs.
+    pub fth: u32,
+    /// MINT window size (one of every `mint_w` candidate ACTs is selected).
+    pub mint_w: u32,
+    /// RCT regions per bank.
+    pub regions_per_bank: u32,
+    /// MIRZA-Q capacity per bank.
+    pub queue_capacity: usize,
+    /// Queue tardiness threshold.
+    pub qth: u32,
+    /// Row-to-subarray mapping scheme.
+    pub mapping: MappingScheme,
+}
+
+impl MirzaConfig {
+    /// Table VII row for TRHD = 2000.
+    pub fn trhd_2000() -> Self {
+        Self::preset(2000, 3330, 16, 64)
+    }
+
+    /// Table VII row for TRHD = 1000 (the paper's default).
+    pub fn trhd_1000() -> Self {
+        Self::preset(1000, 1500, 12, 128)
+    }
+
+    /// Table VII row for TRHD = 500.
+    pub fn trhd_500() -> Self {
+        Self::preset(500, 660, 8, 256)
+    }
+
+    /// Table XII configuration for the current threshold of 4.8K
+    /// (32 regions, 72 bytes per bank).
+    pub fn trhd_4800() -> Self {
+        Self::preset(4800, 8000, 16, 32)
+    }
+
+    /// Sensitivity-study configuration (Table IX): FTH/MINT-W pairs at
+    /// TRHD = 1000 with 128 regions.
+    ///
+    /// # Panics
+    /// Panics if `mint_w` is not one of 4, 8, 12, 16.
+    pub fn sensitivity_1000(mint_w: u32) -> Self {
+        let fth = match mint_w {
+            4 => 1820,
+            8 => 1660,
+            12 => 1500,
+            16 => 1350,
+            _ => panic!("Table IX covers MINT-W of 4/8/12/16, got {mint_w}"),
+        };
+        Self::preset(1000, fth, mint_w, 128)
+    }
+
+    fn preset(target_trhd: u32, fth: u32, mint_w: u32, regions: u32) -> Self {
+        MirzaConfig {
+            target_trhd,
+            fth,
+            mint_w,
+            regions_per_bank: regions,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            qth: DEFAULT_QTH,
+            mapping: MappingScheme::Strided,
+        }
+    }
+
+    /// Derives the FTH that meets `target_trhd` for a given window size,
+    /// using the Section VI-B bound:
+    /// `TRHD_safe > FTH/2 + MINT_TRHD(W) + QTH + ABO_ACTS`.
+    pub fn derive_fth(target_trhd: u32, mint_w: u32, qth: u32) -> u32 {
+        let slack = mint_tolerated_trhd(mint_w) + qth + ABO_EXTRA_ACTS;
+        2 * target_trhd.saturating_sub(slack + 1)
+    }
+
+    /// The Section VI-B safe double-sided threshold of this configuration:
+    /// the maximum unmitigated ACTs plus one.
+    pub fn safe_trhd(&self) -> u32 {
+        self.fth / 2 + mint_tolerated_trhd(self.mint_w) + self.qth + ABO_EXTRA_ACTS + 1
+    }
+
+    /// The Section VI-A safe single-sided threshold.
+    pub fn safe_trhs(&self) -> u32 {
+        self.fth + mint_tolerated_trhs(self.mint_w) + self.qth + ABO_EXTRA_ACTS + 1
+    }
+
+    /// Bits per RCT counter: enough to hold FTH + 1 (the saturation value).
+    pub fn rct_counter_bits(&self) -> u32 {
+        32 - (self.fth + 1).leading_zeros()
+    }
+
+    /// SRAM bytes per bank: RCT storage plus a fixed 20-byte allowance for
+    /// MIRZA-Q, MINT state and the RRC register (matches Table VII:
+    /// 116/196/340 bytes for TRHD 2K/1K/500).
+    pub fn sram_bytes_per_bank(&self) -> u32 {
+        let rct_bits = self.regions_per_bank * self.rct_counter_bits();
+        rct_bits.div_ceil(8) + 20
+    }
+
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    /// Returns a description of the violated constraint, e.g. a window too
+    /// small for the steady-state ABO insertion bound (`MINT-W >= 4`,
+    /// Section V-D) or an FTH that breaks the target threshold.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mint_w < 4 {
+            return Err(format!(
+                "MINT-W must be >= 4 to bound insertions to one per ALERT, got {}",
+                self.mint_w
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be non-zero".into());
+        }
+        if self.regions_per_bank == 0 || !self.regions_per_bank.is_power_of_two() {
+            return Err("regions per bank must be a non-zero power of two".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MirzaConfig {
+    fn default() -> Self {
+        Self::trhd_1000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_sram_budgets() {
+        assert_eq!(MirzaConfig::trhd_2000().sram_bytes_per_bank(), 116);
+        assert_eq!(MirzaConfig::trhd_1000().sram_bytes_per_bank(), 196);
+        assert_eq!(MirzaConfig::trhd_500().sram_bytes_per_bank(), 340);
+    }
+
+    #[test]
+    fn table12_sram_budget() {
+        assert_eq!(MirzaConfig::trhd_4800().sram_bytes_per_bank(), 72);
+    }
+
+    #[test]
+    fn counter_bits_match_table10() {
+        // 11-bit counters at TRHD=1K (Table X).
+        assert_eq!(MirzaConfig::trhd_1000().rct_counter_bits(), 11);
+        assert_eq!(MirzaConfig::trhd_2000().rct_counter_bits(), 12);
+        assert_eq!(MirzaConfig::trhd_500().rct_counter_bits(), 10);
+    }
+
+    #[test]
+    fn presets_are_safe_for_their_target() {
+        for cfg in [
+            MirzaConfig::trhd_2000(),
+            MirzaConfig::trhd_1000(),
+            MirzaConfig::trhd_500(),
+            MirzaConfig::trhd_4800(),
+        ] {
+            assert!(cfg.validate().is_ok());
+            assert!(
+                cfg.safe_trhd() <= cfg.target_trhd + cfg.target_trhd / 10,
+                "{cfg:?}: safe_trhd {} far above target {}",
+                cfg.safe_trhd(),
+                cfg.target_trhd
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_rows_share_sram_budget() {
+        for w in [4, 8, 12, 16] {
+            let cfg = MirzaConfig::sensitivity_1000(w);
+            assert_eq!(cfg.sram_bytes_per_bank(), 196, "W={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Table IX")]
+    fn sensitivity_rejects_unknown_window() {
+        let _ = MirzaConfig::sensitivity_1000(6);
+    }
+
+    #[test]
+    fn derive_fth_respects_bound() {
+        for (trhd, w) in [(2000u32, 16u32), (1000, 12), (500, 8)] {
+            let fth = MirzaConfig::derive_fth(trhd, w, DEFAULT_QTH);
+            let cfg = MirzaConfig {
+                fth,
+                mint_w: w,
+                target_trhd: trhd,
+                ..MirzaConfig::trhd_1000()
+            };
+            assert!(cfg.safe_trhd() <= trhd, "derived FTH {fth} unsafe");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_small_window() {
+        let cfg = MirzaConfig {
+            mint_w: 2,
+            ..MirzaConfig::trhd_1000()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

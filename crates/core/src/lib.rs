@@ -1,0 +1,41 @@
+//! # mirza-core — the paper's contribution
+//!
+//! MIRZA (*Mitigating Rowhammer with Randomization and ALERT*, HPCA 2026):
+//! a low-cost **reactive** in-DRAM Rowhammer mitigation built from
+//!
+//! * [`mint`] — the single-entry randomized MINT tracker,
+//! * [`rct`] — the Region Count Table for coarse-grained filtering with the
+//!   safe reset protocol,
+//! * [`queue`] — the per-bank MIRZA-Q with tardiness counters, and
+//! * [`mirza`] — the composed [`Mirza`] engine implementing the DRAM-side
+//!   [`Mitigator`](mirza_dram::mitigation::Mitigator) trait, including the
+//!   Naive-MIRZA (no filtering) ablation.
+//!
+//! Configuration presets reproducing Table VII live in [`config`].
+//!
+//! ```
+//! use mirza_core::prelude::*;
+//! use mirza_dram::prelude::*;
+//!
+//! let cfg = MirzaConfig::trhd_1000();
+//! assert_eq!(cfg.sram_bytes_per_bank(), 196); // Table VII
+//! let mirza = Mirza::new(cfg, &Geometry::ddr5_32gb(), 42);
+//! assert_eq!(mirza.name(), "mirza");
+//! ```
+//!
+//! [`Mirza`]: mirza::Mirza
+
+pub mod config;
+pub mod mint;
+pub mod mirza;
+pub mod queue;
+pub mod rct;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::config::{MirzaConfig, ABO_EXTRA_ACTS, BLAST_RADIUS, DEFAULT_QTH};
+    pub use crate::mint::MintSampler;
+    pub use crate::mirza::Mirza;
+    pub use crate::queue::{MirzaQueue, QueueEntry};
+    pub use crate::rct::{FilterDecision, RegionCountTable, ResetPolicy};
+}

@@ -1,0 +1,197 @@
+//! MIRZA-Q: the per-bank queue of MINT-selected aggressor rows with
+//! tardiness counters (Sections IV-A, V-A).
+
+/// One buffered aggressor row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// The buffered row address.
+    pub row: u32,
+    /// Tardiness counter: ACTs this row received since entering the queue
+    /// (insertion counts as 1).
+    pub count: u32,
+    /// Insertion order, for oldest-first tie-breaking.
+    seq: u64,
+}
+
+/// A small per-bank queue (default 4 entries) with no duplicate rows.
+///
+/// An ALERT is warranted ([`MirzaQueue::wants_alert`]) when the queue is
+/// full or any entry's tardiness counter exceeds the Queue Tardiness
+/// Threshold (QTH).
+#[derive(Debug, Clone)]
+pub struct MirzaQueue {
+    capacity: usize,
+    qth: u32,
+    entries: Vec<QueueEntry>,
+    next_seq: u64,
+    /// Selections dropped because the queue was full (should be ~0 when
+    /// MINT-W >= 4; tracked for diagnostics).
+    drops: u64,
+}
+
+impl MirzaQueue {
+    /// Creates an empty queue.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, qth: u32) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        MirzaQueue {
+            capacity,
+            qth,
+            entries: Vec::with_capacity(capacity),
+            next_seq: 0,
+            drops: 0,
+        }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when every slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Selections dropped on a full queue.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Iterates over the buffered entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.entries.iter()
+    }
+
+    /// If `row` is buffered, increments its tardiness counter and returns
+    /// the new count.
+    pub fn bump(&mut self, row: u32) -> Option<u32> {
+        let e = self.entries.iter_mut().find(|e| e.row == row)?;
+        e.count += 1;
+        Some(e.count)
+    }
+
+    /// Inserts `row` with a tardiness count of 1. Returns `false` (and
+    /// counts a drop) when the queue is full; duplicates are rejected with
+    /// a panic since callers must [`bump`](Self::bump) first.
+    ///
+    /// # Panics
+    /// Panics if `row` is already buffered.
+    pub fn insert(&mut self, row: u32) -> bool {
+        assert!(
+            self.entries.iter().all(|e| e.row != row),
+            "duplicate insertion of row {row}"
+        );
+        if self.is_full() {
+            self.drops += 1;
+            return false;
+        }
+        self.entries.push(QueueEntry {
+            row,
+            count: 1,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        true
+    }
+
+    /// True when the queue is full or any entry's count exceeds QTH.
+    pub fn wants_alert(&self) -> bool {
+        self.is_full() || self.entries.iter().any(|e| e.count > self.qth)
+    }
+
+    /// Removes and returns the entry with the highest tardiness count
+    /// (oldest wins ties) — the row mitigated on ALERT.
+    pub fn pop_max(&mut self) -> Option<QueueEntry> {
+        let (i, _) = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.count.cmp(&b.count).then(b.seq.cmp(&a.seq)))?;
+        Some(self.entries.swap_remove(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_bump_pop_cycle() {
+        let mut q = MirzaQueue::new(4, 16);
+        assert!(q.is_empty());
+        assert!(q.insert(10));
+        assert!(q.insert(20));
+        assert_eq!(q.bump(10), Some(2));
+        assert_eq!(q.bump(10), Some(3));
+        assert_eq!(q.bump(99), None);
+        let top = q.pop_max().unwrap();
+        assert_eq!(top.row, 10);
+        assert_eq!(top.count, 3);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn alert_on_full_queue() {
+        let mut q = MirzaQueue::new(2, 16);
+        q.insert(1);
+        assert!(!q.wants_alert());
+        q.insert(2);
+        assert!(q.is_full());
+        assert!(q.wants_alert());
+        q.pop_max();
+        assert!(!q.wants_alert());
+    }
+
+    #[test]
+    fn alert_on_tardiness_exceeding_qth() {
+        let mut q = MirzaQueue::new(4, 3);
+        q.insert(7);
+        q.bump(7); // 2
+        q.bump(7); // 3 == QTH -> not yet
+        assert!(!q.wants_alert());
+        q.bump(7); // 4 > QTH
+        assert!(q.wants_alert());
+    }
+
+    #[test]
+    fn full_queue_drops_and_counts() {
+        let mut q = MirzaQueue::new(1, 16);
+        assert!(q.insert(1));
+        assert!(!q.insert(2));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_max_breaks_ties_oldest_first() {
+        let mut q = MirzaQueue::new(4, 16);
+        q.insert(1);
+        q.insert(2);
+        q.insert(3);
+        assert_eq!(q.pop_max().unwrap().row, 1);
+        assert_eq!(q.pop_max().unwrap().row, 2);
+        assert_eq!(q.pop_max().unwrap().row, 3);
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate insertion")]
+    fn duplicate_insert_panics() {
+        let mut q = MirzaQueue::new(4, 16);
+        q.insert(5);
+        q.insert(5);
+    }
+}

@@ -1,0 +1,329 @@
+//! The Region Count Table (RCT): coarse-grained filtering (Sections IV-C,
+//! V-A) with the safe reset protocol of Appendix B.
+//!
+//! One untagged counter per region per bank. ACTs to a region at or below
+//! the Filtering Threshold (FTH) bump the counter and are *filtered* (no
+//! mitigation participation). Once the counter exceeds FTH it saturates at
+//! FTH+1 and every further ACT to the region becomes a mitigation
+//! *candidate*, until the region is refreshed and its counter reset.
+
+use mirza_dram::address::RegionMap;
+use mirza_dram::mitigation::RefreshSlice;
+
+/// When the RCT counter of a region is cleared relative to the region's
+/// refresh (Appendix B, Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetPolicy {
+    /// Copy the counter into the RRC register at the region's first REF,
+    /// clear the counter, and use the RRC (updated alongside) for filtering
+    /// decisions while the region is being refreshed. Secure.
+    #[default]
+    Safe,
+    /// Clear at the region's first REF. **Insecure** — rows refreshed late
+    /// in the region can be under-counted by up to FTH-1 (kept for the
+    /// Appendix-B demonstration).
+    Eager,
+    /// Clear at the region's last REF. **Insecure** — rows refreshed early
+    /// can be under-counted (kept for the Appendix-B demonstration).
+    Lazy,
+}
+
+/// Outcome of presenting one ACT to the RCT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// The region is cold: the ACT is absorbed by filtering.
+    Filtered,
+    /// The region exceeded FTH: the row must participate in randomized
+    /// selection.
+    Candidate,
+}
+
+/// Region Count Table for all banks of one sub-channel.
+#[derive(Debug, Clone)]
+pub struct RegionCountTable {
+    fth: u32,
+    policy: ResetPolicy,
+    regions: RegionMap,
+    banks: usize,
+    /// `banks x regions`, row-major by bank. Saturates at FTH+1.
+    counters: Vec<u32>,
+    /// Refreshed-Region-Counter register, one per bank (Safe policy).
+    rrc: Vec<u32>,
+    region_in_refresh: Option<u32>,
+}
+
+impl RegionCountTable {
+    /// Creates a zeroed RCT.
+    ///
+    /// # Panics
+    /// Panics if `banks` is zero.
+    pub fn new(banks: usize, regions: RegionMap, fth: u32, policy: ResetPolicy) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        RegionCountTable {
+            fth,
+            policy,
+            banks,
+            counters: vec![0; banks * regions.regions() as usize],
+            rrc: vec![0; banks],
+            region_in_refresh: None,
+            regions,
+        }
+    }
+
+    /// The filtering threshold.
+    pub fn fth(&self) -> u32 {
+        self.fth
+    }
+
+    /// The reset policy in force.
+    pub fn policy(&self) -> ResetPolicy {
+        self.policy
+    }
+
+    /// The region map.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// Current counter of `region` in `bank`.
+    pub fn counter(&self, bank: usize, region: u32) -> u32 {
+        self.counters[bank * self.regions.regions() as usize + region as usize]
+    }
+
+    /// The RRC register of `bank` (meaningful only under [`ResetPolicy::Safe`]
+    /// while a region is being refreshed).
+    pub fn rrc(&self, bank: usize) -> u32 {
+        self.rrc[bank]
+    }
+
+    /// The region currently being walked by refresh, if any.
+    pub fn region_in_refresh(&self) -> Option<u32> {
+        self.region_in_refresh
+    }
+
+    fn idx(&self, bank: usize, region: u32) -> usize {
+        bank * self.regions.regions() as usize + region as usize
+    }
+
+    fn bump(&mut self, bank: usize, region: u32) {
+        let sat = self.fth + 1;
+        let i = self.idx(bank, region);
+        if self.counters[i] < sat {
+            self.counters[i] += 1;
+        }
+        if self.policy == ResetPolicy::Safe
+            && self.region_in_refresh == Some(region)
+            && self.rrc[bank] < sat
+        {
+            self.rrc[bank] += 1;
+        }
+    }
+
+    /// Presents an ACT to physical row `phys` of `bank` and returns whether
+    /// it is filtered or must participate in randomized selection.
+    ///
+    /// Implements the footnote-3 edge rule: ACTs to the first/last row of a
+    /// region also bump the neighboring region's counter, so a victim on the
+    /// region boundary cannot see `2*FTH` unfiltered aggressor ACTs.
+    pub fn observe(&mut self, bank: usize, phys: u32) -> FilterDecision {
+        let region = self.regions.region_of_phys(phys);
+        let effective = if self.policy == ResetPolicy::Safe
+            && self.region_in_refresh == Some(region)
+        {
+            self.rrc[bank]
+        } else {
+            self.counter(bank, region)
+        };
+        if effective <= self.fth {
+            self.bump(bank, region);
+            if let Some(adj) = self.regions.adjacent_region_of_edge(phys) {
+                self.bump(bank, adj);
+            }
+            FilterDecision::Filtered
+        } else {
+            FilterDecision::Candidate
+        }
+    }
+
+    /// Applies a REF slice: manages region reset per the configured policy.
+    /// Must be called once per REF (the slice applies to every bank).
+    pub fn on_ref(&mut self, slice: &RefreshSlice) {
+        let rpr = self.regions.rows_per_region();
+        let start = slice.phys_rows.start;
+        let end = slice.phys_rows.end;
+        if start.is_multiple_of(rpr) {
+            // Entering a new region.
+            let region = self.regions.region_of_phys(start);
+            match self.policy {
+                ResetPolicy::Safe => {
+                    for bank in 0..self.banks {
+                        self.rrc[bank] = self.counter(bank, region);
+                        let i = self.idx(bank, region);
+                        self.counters[i] = 0;
+                    }
+                    self.region_in_refresh = Some(region);
+                }
+                ResetPolicy::Eager => {
+                    for bank in 0..self.banks {
+                        let i = self.idx(bank, region);
+                        self.counters[i] = 0;
+                    }
+                }
+                ResetPolicy::Lazy => {}
+            }
+        }
+        if end.is_multiple_of(rpr) {
+            // Leaving the region containing the last refreshed row.
+            let region = self.regions.region_of_phys(end - 1);
+            match self.policy {
+                ResetPolicy::Safe => {
+                    if self.region_in_refresh == Some(region) {
+                        self.region_in_refresh = None;
+                    }
+                }
+                ResetPolicy::Lazy => {
+                    for bank in 0..self.banks {
+                        let i = self.idx(bank, region);
+                        self.counters[i] = 0;
+                    }
+                }
+                ResetPolicy::Eager => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rct(fth: u32, policy: ResetPolicy) -> RegionCountTable {
+        // 8 regions of 16 rows for compact tests.
+        RegionCountTable::new(2, RegionMap::new(128, 8), fth, policy)
+    }
+
+    fn slice(index: u64, start: u32, end: u32) -> RefreshSlice {
+        RefreshSlice {
+            index,
+            phys_rows: start..end,
+        }
+    }
+
+    #[test]
+    fn filters_until_fth_then_candidates() {
+        let mut r = rct(10, ResetPolicy::Safe);
+        // Interior row (no edge rule interference).
+        for i in 0..11 {
+            assert_eq!(r.observe(0, 5), FilterDecision::Filtered, "act {i}");
+        }
+        // Counter is now 11 = FTH+1 -> candidates forever (until refresh).
+        for _ in 0..5 {
+            assert_eq!(r.observe(0, 5), FilterDecision::Candidate);
+        }
+        assert_eq!(r.counter(0, 0), 11); // saturated at FTH+1
+        // Other bank unaffected.
+        assert_eq!(r.counter(1, 0), 0);
+    }
+
+    #[test]
+    fn any_row_in_region_shares_the_counter() {
+        let mut r = rct(3, ResetPolicy::Safe);
+        r.observe(0, 1);
+        r.observe(0, 2);
+        r.observe(0, 3);
+        r.observe(0, 4);
+        // Counter is 4 > FTH=3: next ACT to any row of region 0 is a candidate.
+        assert_eq!(r.observe(0, 9), FilterDecision::Candidate);
+    }
+
+    #[test]
+    fn edge_rows_bump_both_regions() {
+        let mut r = rct(100, ResetPolicy::Safe);
+        // Row 15 is the last row of region 0 -> also bumps region 1.
+        r.observe(0, 15);
+        assert_eq!(r.counter(0, 0), 1);
+        assert_eq!(r.counter(0, 1), 1);
+        // Row 16 is the first row of region 1 -> also bumps region 0.
+        r.observe(0, 16);
+        assert_eq!(r.counter(0, 0), 2);
+        assert_eq!(r.counter(0, 1), 2);
+        // Bank-boundary edges bump only their own region.
+        r.observe(0, 0);
+        assert_eq!(r.counter(0, 0), 3);
+    }
+
+    #[test]
+    fn safe_reset_uses_rrc_during_region_refresh() {
+        let mut r = rct(4, ResetPolicy::Safe);
+        for _ in 0..5 {
+            r.observe(0, 5);
+        }
+        assert_eq!(r.observe(0, 5), FilterDecision::Candidate);
+        // Region 0 starts refreshing (rows 0..8 of 16).
+        r.on_ref(&slice(0, 0, 8));
+        assert_eq!(r.region_in_refresh(), Some(0));
+        assert_eq!(r.counter(0, 0), 0, "RCT entry cleared");
+        assert_eq!(r.rrc(0), 5, "old count preserved in RRC");
+        // Decision still uses the RRC: the region stays hot.
+        assert_eq!(r.observe(0, 5), FilterDecision::Candidate);
+        // Region refresh completes: back to the (low) RCT counter.
+        r.on_ref(&slice(1, 8, 16));
+        assert_eq!(r.region_in_refresh(), None);
+        assert_eq!(r.observe(0, 5), FilterDecision::Filtered);
+    }
+
+    #[test]
+    fn safe_reset_counts_acts_during_refresh_into_new_window() {
+        let mut r = rct(4, ResetPolicy::Safe);
+        for _ in 0..3 {
+            r.observe(0, 5);
+        }
+        r.on_ref(&slice(0, 0, 8));
+        // Two ACTs land while the region refreshes: both RCT and RRC move.
+        r.observe(0, 5);
+        r.observe(0, 5);
+        assert_eq!(r.rrc(0), 5);
+        assert_eq!(r.counter(0, 0), 2, "RCT seeded with refresh-period ACTs");
+        r.on_ref(&slice(1, 8, 16));
+        // Post-refresh the region carries those 2 ACTs forward.
+        assert_eq!(r.counter(0, 0), 2);
+    }
+
+    #[test]
+    fn eager_reset_clears_at_first_ref() {
+        let mut r = rct(4, ResetPolicy::Eager);
+        for _ in 0..5 {
+            r.observe(0, 5);
+        }
+        r.on_ref(&slice(0, 0, 8));
+        assert_eq!(r.counter(0, 0), 0);
+        // Insecure: immediately filtered again even though the region's later
+        // rows have not been refreshed yet.
+        assert_eq!(r.observe(0, 15), FilterDecision::Filtered);
+    }
+
+    #[test]
+    fn lazy_reset_clears_at_last_ref() {
+        let mut r = rct(4, ResetPolicy::Lazy);
+        for _ in 0..5 {
+            r.observe(0, 5);
+        }
+        r.on_ref(&slice(0, 0, 8));
+        assert_eq!(r.counter(0, 0), 5, "lazy does not reset at first REF");
+        assert_eq!(r.observe(0, 5), FilterDecision::Candidate);
+        r.on_ref(&slice(1, 8, 16));
+        assert_eq!(r.counter(0, 0), 0);
+    }
+
+    #[test]
+    fn single_slice_covering_whole_region_enters_and_leaves() {
+        // rows_per_ref == rows_per_region.
+        let mut r = RegionCountTable::new(1, RegionMap::new(64, 4), 2, ResetPolicy::Safe);
+        for _ in 0..3 {
+            r.observe(0, 0);
+        }
+        r.on_ref(&slice(0, 0, 16));
+        assert_eq!(r.region_in_refresh(), None, "enter then leave in one REF");
+        assert_eq!(r.counter(0, 0), 0);
+    }
+}

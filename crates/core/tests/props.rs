@@ -1,0 +1,175 @@
+//! Property-based tests for the MIRZA core: MINT window discipline, queue
+//! invariants, RCT counting conservation, and whole-tracker accounting.
+
+use proptest::prelude::*;
+
+use mirza_core::config::MirzaConfig;
+use mirza_core::mint::MintSampler;
+use mirza_core::mirza::Mirza;
+use mirza_core::queue::MirzaQueue;
+use mirza_core::rct::{FilterDecision, RegionCountTable, ResetPolicy};
+use mirza_dram::address::RegionMap;
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::{Mitigator, RefreshSlice};
+use mirza_dram::time::Ps;
+
+fn small_geom() -> Geometry {
+    Geometry {
+        subchannels: 1,
+        ranks: 1,
+        banks: 2,
+        rows_per_bank: 4096,
+        row_bytes: 4096,
+        line_bytes: 64,
+        subarrays_per_bank: 4,
+        rows_per_ref: 16,
+    }
+}
+
+proptest! {
+    /// MINT selects exactly one candidate per window, whatever the window
+    /// size, seed or stream content.
+    #[test]
+    fn mint_selects_one_per_window(
+        w in 1u32..64,
+        seed in any::<u64>(),
+        windows in 1u32..50,
+    ) {
+        let mut mint = MintSampler::new(w, seed);
+        let mut selections = 0;
+        for i in 0..w * windows {
+            if mint.observe(i).is_some() {
+                selections += 1;
+            }
+        }
+        prop_assert_eq!(selections, windows);
+    }
+
+    /// The queue never exceeds capacity, never holds duplicates, and
+    /// `wants_alert` is exactly `full || any count > QTH`.
+    #[test]
+    fn queue_invariants(
+        cap in 1usize..8,
+        qth in 1u32..32,
+        ops in proptest::collection::vec((0u32..16, any::<bool>()), 0..200),
+    ) {
+        let mut q = MirzaQueue::new(cap, qth);
+        for (row, pop) in ops {
+            if pop {
+                let before = q.len();
+                let e = q.pop_max();
+                prop_assert_eq!(e.is_some(), before > 0);
+            } else if q.bump(row).is_none() {
+                let _ = q.insert(row);
+            }
+            prop_assert!(q.len() <= cap);
+            let mut rows: Vec<u32> = q.iter().map(|e| e.row).collect();
+            rows.sort_unstable();
+            let mut dedup = rows.clone();
+            dedup.dedup();
+            prop_assert_eq!(&rows, &dedup, "duplicate rows buffered");
+            let expect = q.is_full() || q.iter().any(|e| e.count > qth);
+            prop_assert_eq!(q.wants_alert(), expect);
+        }
+    }
+
+    /// RCT conservation under Safe reset: for any ACT stream without
+    /// refresh, a region's counter equals min(ACTs counted, FTH+1), where
+    /// interior ACTs count once and edge ACTs also count toward the
+    /// neighbor.
+    #[test]
+    fn rct_counts_conserve(
+        fth in 1u32..64,
+        acts in proptest::collection::vec(0u32..128, 0..300),
+    ) {
+        let regions = RegionMap::new(128, 8);
+        let mut rct = RegionCountTable::new(1, regions, fth, ResetPolicy::Safe);
+        let mut expected = [0u64; 8];
+        for phys in acts {
+            let r = regions.region_of_phys(phys);
+            let before = rct.counter(0, r);
+            let d = rct.observe(0, phys);
+            prop_assert_eq!(
+                matches!(d, FilterDecision::Candidate),
+                before > fth,
+                "decision must use the pre-increment counter"
+            );
+            if before <= fth {
+                expected[r as usize] += 1;
+                if let Some(adj) = regions.adjacent_region_of_edge(phys) {
+                    expected[adj as usize] += 1;
+                }
+            }
+        }
+        for r in 0..8u32 {
+            let c = u64::from(rct.counter(0, r));
+            prop_assert!(c <= u64::from(fth) + 1);
+            prop_assert!(c <= expected[r as usize]);
+        }
+    }
+
+    /// Whole-tracker accounting: filtered + candidates == observed, and
+    /// victim rows are between 2x and 4x mitigations (subarray edges).
+    #[test]
+    fn mirza_accounting(
+        seed in any::<u64>(),
+        rows in proptest::collection::vec(0u32..4096, 1..400),
+    ) {
+        let g = small_geom();
+        let cfg = MirzaConfig {
+            fth: 8,
+            mint_w: 4,
+            regions_per_bank: 4,
+            ..MirzaConfig::trhd_1000()
+        };
+        let mut m = Mirza::new(cfg, &g, seed);
+        for (i, row) in rows.iter().enumerate() {
+            m.on_activate(i % 2, *row, Ps::ZERO);
+            if m.alert_pending() {
+                m.on_rfm(true, Ps::ZERO);
+            }
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.acts_filtered + s.acts_candidate, s.acts_observed);
+        prop_assert!(s.victim_rows_refreshed >= 2 * s.mitigations);
+        prop_assert!(s.victim_rows_refreshed <= 4 * s.mitigations);
+        prop_assert_eq!(s.ref_mitigations, 0, "MIRZA never cannibalizes REF");
+    }
+
+    /// The safe reset protocol never lets a region's effective counter
+    /// drop below the number of ACTs it received since its last refresh
+    /// completed (no under-counting, Appendix B).
+    #[test]
+    fn safe_reset_never_undercounts(
+        fth in 4u32..40,
+        burst_a in 0u32..40,
+        burst_b in 0u32..40,
+    ) {
+        let regions = RegionMap::new(128, 8);
+        let mut rct = RegionCountTable::new(1, regions, fth, ResetPolicy::Safe);
+        let mut candidates = 0u64;
+        // Phase 1: burst_a ACTs to region 0 before its refresh begins.
+        for _ in 0..burst_a {
+            if matches!(rct.observe(0, 5), FilterDecision::Candidate) {
+                candidates += 1;
+            }
+        }
+        // Region 0 starts refreshing.
+        rct.on_ref(&RefreshSlice { index: 0, phys_rows: 0..8 });
+        // Phase 2: burst_b ACTs while refreshing; decisions use the RRC.
+        for _ in 0..burst_b {
+            if matches!(rct.observe(0, 5), FilterDecision::Candidate) {
+                candidates += 1;
+            }
+        }
+        // Filtered ACTs across both phases never exceed FTH+2 in total:
+        // the RRC carries phase-1 counts into phase-2 decisions.
+        let filtered = u64::from(burst_a + burst_b) - candidates;
+        prop_assert!(
+            filtered <= u64::from(fth) + 2,
+            "{} filtered ACTs with FTH {}",
+            filtered,
+            fth
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! DRAM addressing: bank coordinates, row-to-subarray (R2SA) mapping and
+//! the coarse-grained region map used by MIRZA's RCT (Section IV-D).
+//!
+//! A *row address* is what the memory controller names in an ACT command.
+//! A *physical index* is the row's physical position inside the bank, which
+//! determines (a) which subarray/region it occupies and (b) its Rowhammer
+//! neighbors. The R2SA mapping is the bijection between the two.
+
+use crate::geometry::Geometry;
+
+/// Coordinates of one bank within a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BankId {
+    /// Sub-channel index.
+    pub subch: u32,
+    /// Rank index within the sub-channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+}
+
+impl BankId {
+    /// Creates a bank coordinate.
+    pub fn new(subch: u32, rank: u32, bank: u32) -> Self {
+        BankId { subch, rank, bank }
+    }
+
+    /// Flat index of this bank inside its sub-channel.
+    pub fn flat_in_subchannel(&self, geom: &Geometry) -> usize {
+        (self.rank * geom.banks + self.bank) as usize
+    }
+
+    /// Flat index of this bank across the whole channel.
+    pub fn flat_in_channel(&self, geom: &Geometry) -> usize {
+        (self.subch * geom.ranks * geom.banks + self.rank * geom.banks + self.bank) as usize
+    }
+}
+
+/// A fully decoded DRAM address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramAddr {
+    /// Bank coordinates.
+    pub bank: BankId,
+    /// Row address (as named by the MC).
+    pub row: u32,
+    /// Column (cache-line index within the row).
+    pub col: u32,
+}
+
+/// Row-address to physical-index mapping scheme (Section IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingScheme {
+    /// Consecutive row addresses occupy consecutive physical rows, filling
+    /// one subarray before moving to the next.
+    Sequential,
+    /// Consecutive row addresses are striped across subarrays: row address
+    /// `x` lands in subarray `x % S` at offset `x / S`. Every `S`-th row
+    /// address shares a subarray.
+    #[default]
+    Strided,
+}
+
+/// Bijection between row addresses and physical row indices of one bank.
+///
+/// ```
+/// use mirza_dram::address::{MappingScheme, RowMapping};
+/// let m = RowMapping::new(MappingScheme::Strided, 128 * 1024, 128);
+/// // Row addresses 0 and 128 are physical neighbors in subarray 0.
+/// assert_eq!(m.phys_of(0), 0);
+/// assert_eq!(m.phys_of(128), 1);
+/// assert_eq!(m.subarray_of_row(5), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMapping {
+    scheme: MappingScheme,
+    rows_per_bank: u32,
+    subarrays: u32,
+}
+
+impl RowMapping {
+    /// Creates a mapping for a bank with `rows_per_bank` rows split into
+    /// `subarrays` physical subarrays.
+    ///
+    /// # Panics
+    /// Panics if `subarrays` does not evenly divide `rows_per_bank` or
+    /// either is zero.
+    pub fn new(scheme: MappingScheme, rows_per_bank: u32, subarrays: u32) -> Self {
+        assert!(rows_per_bank > 0 && subarrays > 0, "empty bank");
+        assert!(
+            rows_per_bank.is_multiple_of(subarrays),
+            "subarrays must divide the bank evenly"
+        );
+        RowMapping {
+            scheme,
+            rows_per_bank,
+            subarrays,
+        }
+    }
+
+    /// Mapping for the given geometry.
+    pub fn for_geometry(scheme: MappingScheme, geom: &Geometry) -> Self {
+        Self::new(scheme, geom.rows_per_bank, geom.subarrays_per_bank)
+    }
+
+    /// The mapping scheme in use.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// Rows per physical subarray.
+    pub fn rows_per_subarray(&self) -> u32 {
+        self.rows_per_bank / self.subarrays
+    }
+
+    /// Number of physical subarrays.
+    pub fn subarrays(&self) -> u32 {
+        self.subarrays
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(&self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Physical index of a row address.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `row` is out of range.
+    #[inline]
+    pub fn phys_of(&self, row: u32) -> u32 {
+        debug_assert!(row < self.rows_per_bank);
+        match self.scheme {
+            MappingScheme::Sequential => row,
+            MappingScheme::Strided => {
+                let sa = row % self.subarrays;
+                let off = row / self.subarrays;
+                sa * self.rows_per_subarray() + off
+            }
+        }
+    }
+
+    /// Row address occupying physical index `phys` (inverse of [`phys_of`]).
+    ///
+    /// [`phys_of`]: RowMapping::phys_of
+    #[inline]
+    pub fn row_of(&self, phys: u32) -> u32 {
+        debug_assert!(phys < self.rows_per_bank);
+        match self.scheme {
+            MappingScheme::Sequential => phys,
+            MappingScheme::Strided => {
+                let sa = phys / self.rows_per_subarray();
+                let off = phys % self.rows_per_subarray();
+                off * self.subarrays + sa
+            }
+        }
+    }
+
+    /// Physical subarray containing row address `row`.
+    #[inline]
+    pub fn subarray_of_row(&self, row: u32) -> u32 {
+        self.phys_of(row) / self.rows_per_subarray()
+    }
+
+    /// Row addresses of the physical neighbors of `row` at distances
+    /// `1..=blast_radius`, clipped at subarray boundaries (subarrays are
+    /// electrically isolated by sense-amplifier stripes, so disturbance
+    /// does not cross them).
+    pub fn neighbors(&self, row: u32, blast_radius: u32) -> Vec<u32> {
+        let phys = self.phys_of(row);
+        let rps = self.rows_per_subarray();
+        let sa = phys / rps;
+        let sa_first = sa * rps;
+        let sa_last = sa_first + rps - 1;
+        let mut out = Vec::with_capacity(2 * blast_radius as usize);
+        for d in 1..=blast_radius {
+            if phys >= sa_first + d {
+                out.push(self.row_of(phys - d));
+            }
+            if phys + d <= sa_last {
+                out.push(self.row_of(phys + d));
+            }
+        }
+        out
+    }
+}
+
+/// Coarse-grained region map used by the Region Count Table (RCT).
+///
+/// Regions partition the *physical* index space of a bank. The default
+/// configuration has one region per subarray (128 regions of 1024 rows);
+/// the TRHD=500 configuration uses 256 regions (half-subarray regions),
+/// which makes the edge-row rule of footnote 3 relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionMap {
+    regions: u32,
+    rows_per_region: u32,
+}
+
+impl RegionMap {
+    /// Creates a region map of `regions` equal regions over `rows_per_bank`.
+    ///
+    /// # Panics
+    /// Panics if `regions` does not evenly divide `rows_per_bank` or is zero.
+    pub fn new(rows_per_bank: u32, regions: u32) -> Self {
+        assert!(regions > 0, "need at least one region");
+        assert!(
+            rows_per_bank.is_multiple_of(regions),
+            "regions must divide the bank evenly"
+        );
+        RegionMap {
+            regions,
+            rows_per_region: rows_per_bank / regions,
+        }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// Rows per region.
+    pub fn rows_per_region(&self) -> u32 {
+        self.rows_per_region
+    }
+
+    /// Region containing physical index `phys`.
+    #[inline]
+    pub fn region_of_phys(&self, phys: u32) -> u32 {
+        phys / self.rows_per_region
+    }
+
+    /// Whether `phys` is the first or last row of its region.
+    #[inline]
+    pub fn is_region_edge(&self, phys: u32) -> bool {
+        let off = phys % self.rows_per_region;
+        off == 0 || off == self.rows_per_region - 1
+    }
+
+    /// The neighboring region across the edge that `phys` sits on, if any.
+    ///
+    /// Returns `None` for interior rows and for edges at the bank boundary.
+    /// Used by the footnote-3 rule: edge-row ACTs bump both region counters.
+    pub fn adjacent_region_of_edge(&self, phys: u32) -> Option<u32> {
+        let r = self.region_of_phys(phys);
+        let off = phys % self.rows_per_region;
+        if off == 0 && r > 0 {
+            Some(r - 1)
+        } else if off == self.rows_per_region - 1 && r + 1 < self.regions {
+            Some(r + 1)
+        } else {
+            None
+        }
+    }
+
+    /// Range of physical indices covered by `region`.
+    pub fn phys_range(&self, region: u32) -> std::ops::Range<u32> {
+        let start = region * self.rows_per_region;
+        start..start + self.rows_per_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strided() -> RowMapping {
+        RowMapping::new(MappingScheme::Strided, 128 * 1024, 128)
+    }
+
+    fn sequential() -> RowMapping {
+        RowMapping::new(MappingScheme::Sequential, 128 * 1024, 128)
+    }
+
+    #[test]
+    fn sequential_identity() {
+        let m = sequential();
+        for row in [0u32, 1, 1023, 1024, 131071] {
+            assert_eq!(m.phys_of(row), row);
+            assert_eq!(m.row_of(row), row);
+        }
+        assert_eq!(m.subarray_of_row(0), 0);
+        assert_eq!(m.subarray_of_row(1023), 0);
+        assert_eq!(m.subarray_of_row(1024), 1);
+    }
+
+    #[test]
+    fn strided_spreads_consecutive_rows() {
+        let m = strided();
+        // Consecutive row addresses land in consecutive subarrays.
+        for row in 0..128 {
+            assert_eq!(m.subarray_of_row(row), row);
+        }
+        // Every 128th row address shares a subarray.
+        assert_eq!(m.subarray_of_row(0), m.subarray_of_row(128));
+        assert_eq!(m.phys_of(128), 1);
+    }
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        for m in [strided(), sequential()] {
+            for row in (0..128 * 1024).step_by(997) {
+                assert_eq!(m.row_of(m.phys_of(row)), row);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_sequential() {
+        let m = sequential();
+        let mut n = m.neighbors(5000, 2);
+        n.sort_unstable();
+        assert_eq!(n, vec![4998, 4999, 5001, 5002]);
+    }
+
+    #[test]
+    fn neighbors_strided_are_row_plus_minus_stride() {
+        let m = strided();
+        // Row 5000 -> subarray 5000 % 128 = 8, offset 39. Neighbors are
+        // offsets 37, 38, 40, 41 -> row addresses 5000 +- 128, +- 256.
+        let mut n = m.neighbors(5000, 2);
+        n.sort_unstable();
+        assert_eq!(n, vec![5000 - 256, 5000 - 128, 5000 + 128, 5000 + 256]);
+    }
+
+    #[test]
+    fn neighbors_clip_at_subarray_boundary() {
+        let m = sequential();
+        // Physical row 0: no lower neighbors.
+        assert_eq!(m.neighbors(0, 2), vec![1, 2]);
+        // Last row of subarray 0 (phys 1023): no upper neighbors.
+        let mut n = m.neighbors(1023, 2);
+        n.sort_unstable();
+        assert_eq!(n, vec![1021, 1022]);
+        // First row of subarray 1 (phys 1024) has no neighbor in subarray 0.
+        let mut n = m.neighbors(1024, 2);
+        n.sort_unstable();
+        assert_eq!(n, vec![1025, 1026]);
+    }
+
+    #[test]
+    fn region_map_basics() {
+        let r = RegionMap::new(128 * 1024, 128);
+        assert_eq!(r.rows_per_region(), 1024);
+        assert_eq!(r.region_of_phys(0), 0);
+        assert_eq!(r.region_of_phys(1023), 0);
+        assert_eq!(r.region_of_phys(1024), 1);
+        assert_eq!(r.phys_range(1), 1024..2048);
+    }
+
+    #[test]
+    fn region_edges_and_adjacency() {
+        let r = RegionMap::new(128 * 1024, 256); // half-subarray regions
+        assert!(r.is_region_edge(0));
+        assert!(r.is_region_edge(511));
+        assert!(r.is_region_edge(512));
+        assert!(!r.is_region_edge(100));
+        assert_eq!(r.adjacent_region_of_edge(0), None); // bank boundary
+        assert_eq!(r.adjacent_region_of_edge(511), Some(1));
+        assert_eq!(r.adjacent_region_of_edge(512), Some(0));
+        assert_eq!(r.adjacent_region_of_edge(100), None);
+    }
+
+    #[test]
+    fn bank_id_flattening() {
+        let g = Geometry::ddr5_32gb();
+        let b = BankId::new(1, 0, 5);
+        assert_eq!(b.flat_in_subchannel(&g), 5);
+        assert_eq!(b.flat_in_channel(&g), 32 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide the bank")]
+    fn region_map_rejects_uneven_split() {
+        let _ = RegionMap::new(128 * 1024, 100);
+    }
+}

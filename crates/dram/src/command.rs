@@ -1,0 +1,84 @@
+//! DRAM command vocabulary issued by the memory controller.
+
+use crate::address::BankId;
+
+/// A command on the DDR5 command bus of one sub-channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Activate `row` in `bank` (opens the row buffer).
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// Row address.
+        row: u32,
+    },
+    /// Precharge `bank` (closes its row buffer).
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Precharge every bank of the sub-channel.
+    PreAll,
+    /// Read a burst from column `col` of the open row in `bank`.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache-line) index.
+        col: u32,
+    },
+    /// Write a burst to column `col` of the open row in `bank`.
+    Wr {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache-line) index.
+        col: u32,
+    },
+    /// All-bank refresh (advances the refresh pointer by one step).
+    Ref,
+    /// Refresh-management command: gives the device mitigation time.
+    /// `alert` distinguishes a reactive ABO back-off RFM from a proactive,
+    /// MC-scheduled RFM.
+    Rfm {
+        /// True when this RFM is the response to an ALERT back-off.
+        alert: bool,
+    },
+}
+
+impl Command {
+    /// The bank a bank-scoped command targets, if any.
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            Command::Act { bank, .. } | Command::Pre { bank } => Some(bank),
+            Command::Rd { bank, .. } | Command::Wr { bank, .. } => Some(bank),
+            Command::PreAll | Command::Ref | Command::Rfm { .. } => None,
+        }
+    }
+
+    /// True for column (data-moving) commands.
+    pub fn is_column(&self) -> bool {
+        matches!(self, Command::Rd { .. } | Command::Wr { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_extraction() {
+        let b = BankId::new(0, 0, 3);
+        assert_eq!(Command::Act { bank: b, row: 9 }.bank(), Some(b));
+        assert_eq!(Command::Pre { bank: b }.bank(), Some(b));
+        assert_eq!(Command::Ref.bank(), None);
+        assert_eq!(Command::Rfm { alert: true }.bank(), None);
+    }
+
+    #[test]
+    fn column_classification() {
+        let b = BankId::new(0, 0, 0);
+        assert!(Command::Rd { bank: b, col: 0 }.is_column());
+        assert!(Command::Wr { bank: b, col: 0 }.is_column());
+        assert!(!Command::Act { bank: b, row: 0 }.is_column());
+        assert!(!Command::Ref.is_column());
+    }
+}

@@ -1,0 +1,134 @@
+//! DRAM energy model: converts command counts into energy so experiments
+//! can report absolute numbers alongside the paper's *relative* refresh
+//! power metric.
+//!
+//! Per-command energies follow the usual DRAMPower-style decomposition
+//! (activate/precharge pair, read/write burst, per-row refresh) with
+//! DDR5-class constants; all values are parameters, so a user with
+//! vendor IDD data can substitute exact numbers.
+
+use crate::stats::DeviceStats;
+use crate::time::Ps;
+
+/// Per-operation energies in picojoules, plus background power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One ACT+PRE pair (row open and close).
+    pub act_pre_pj: f64,
+    /// One read burst (BL16).
+    pub rd_pj: f64,
+    /// One write burst (BL16).
+    pub wr_pj: f64,
+    /// Refreshing one row (demand or victim refresh alike).
+    pub refresh_row_pj: f64,
+    /// Background (standby + periphery) power in milliwatts per device.
+    pub background_mw: f64,
+}
+
+impl EnergyModel {
+    /// DDR5-class default constants.
+    pub fn ddr5() -> Self {
+        EnergyModel {
+            act_pre_pj: 2000.0,
+            rd_pj: 1100.0,
+            wr_pj: 1200.0,
+            refresh_row_pj: 250.0,
+            background_mw: 110.0,
+        }
+    }
+
+    /// Total energy in nanojoules for the given activity over `elapsed`.
+    /// `victim_rows` is the mitigation-refresh row count (from
+    /// [`MitigationStats::victim_rows_refreshed`]).
+    ///
+    /// [`MitigationStats::victim_rows_refreshed`]:
+    /// crate::mitigation::MitigationStats::victim_rows_refreshed
+    pub fn total_nj(&self, stats: &DeviceStats, victim_rows: u64, elapsed: Ps) -> f64 {
+        let dynamic_pj = stats.acts as f64 * self.act_pre_pj
+            + stats.reads as f64 * self.rd_pj
+            + stats.writes as f64 * self.wr_pj
+            + (stats.demand_refresh_rows + victim_rows) as f64 * self.refresh_row_pj;
+        let background_pj = self.background_mw * 1e-3 /* W */
+            * elapsed.as_ps() as f64 /* ps */
+            * 1e-12 /* s/ps */
+            * 1e12; /* pJ/J */
+        (dynamic_pj + background_pj) / 1000.0
+    }
+
+    /// Energy attributable to refresh (demand + victim rows), nanojoules.
+    pub fn refresh_nj(&self, stats: &DeviceStats, victim_rows: u64) -> f64 {
+        (stats.demand_refresh_rows + victim_rows) as f64 * self.refresh_row_pj / 1000.0
+    }
+
+    /// Fraction of refresh energy spent on mitigation (victim) refreshes —
+    /// the quantity Figures 3 and 13 track as "refresh power overhead".
+    pub fn victim_refresh_fraction(&self, stats: &DeviceStats, victim_rows: u64) -> f64 {
+        let total = stats.demand_refresh_rows + victim_rows;
+        if total == 0 {
+            0.0
+        } else {
+            victim_rows as f64 / total as f64
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::ddr5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> DeviceStats {
+        DeviceStats {
+            acts: 100,
+            reads: 300,
+            writes: 100,
+            demand_refresh_rows: 1000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_adds_up() {
+        let m = EnergyModel::ddr5();
+        // Zero elapsed -> no background.
+        let nj = m.total_nj(&stats(), 0, Ps::ZERO);
+        let expect =
+            (100.0 * 2000.0 + 300.0 * 1100.0 + 100.0 * 1200.0 + 1000.0 * 250.0) / 1000.0;
+        assert!((nj - expect).abs() < 1e-9, "{nj} vs {expect}");
+    }
+
+    #[test]
+    fn background_scales_with_time() {
+        let m = EnergyModel::ddr5();
+        let idle = DeviceStats::default();
+        let one_ms = m.total_nj(&idle, 0, Ps::from_ms(1));
+        let two_ms = m.total_nj(&idle, 0, Ps::from_ms(2));
+        assert!((two_ms - 2.0 * one_ms).abs() < 1e-6);
+        // 110 mW for 1 ms = 110 uJ = 110_000 nJ.
+        assert!((one_ms - 110_000.0).abs() < 1.0, "{one_ms}");
+    }
+
+    #[test]
+    fn victim_fraction_matches_paper_metric() {
+        let m = EnergyModel::ddr5();
+        let s = stats();
+        assert_eq!(m.victim_refresh_fraction(&s, 0), 0.0);
+        let f = m.victim_refresh_fraction(&s, 41);
+        assert!((f - 41.0 / 1041.0).abs() < 1e-12);
+        assert_eq!(m.victim_refresh_fraction(&DeviceStats::default(), 0), 0.0);
+    }
+
+    #[test]
+    fn victim_refresh_energy_is_additive() {
+        let m = EnergyModel::ddr5();
+        let s = stats();
+        let without = m.refresh_nj(&s, 0);
+        let with = m.refresh_nj(&s, 100);
+        assert!((with - without - 100.0 * 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! The `Mitigator` trait: the contract between the DRAM device model and
+//! any in-DRAM Rowhammer mitigation (MIRZA, MINT, PRAC/MOAT, Mithril, TRR,
+//! PARA, ...).
+//!
+//! The device owns one mitigator per sub-channel. The mitigator observes
+//! every ACT, is given mitigation opportunities on REF and RFM, and may
+//! reactively request an ALERT back-off (ABO). All mitigation work is
+//! self-accounted through [`MitigationStats`].
+
+use crate::address::RowMapping;
+use crate::time::Ps;
+
+/// Description of the rows refreshed by one REF command (the refresh-pointer
+/// walk position). The same physical rows are refreshed in *every* bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshSlice {
+    /// Monotone REF counter since simulation start.
+    pub index: u64,
+    /// Physical row indices refreshed by this REF in each bank.
+    pub phys_rows: std::ops::Range<u32>,
+}
+
+/// Self-reported activity counters of a mitigator.
+///
+/// Field semantics are shared across all tracker implementations so the
+/// harness can compare them directly (Tables VIII, XII; Figures 11b, 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MitigationStats {
+    /// ACTs observed by the tracker.
+    pub acts_observed: u64,
+    /// ACTs absorbed by coarse-grained filtering (never reached selection).
+    pub acts_filtered: u64,
+    /// ACTs that participated in probabilistic/counter selection.
+    pub acts_candidate: u64,
+    /// Aggressor rows mitigated (victim refresh episodes).
+    pub mitigations: u64,
+    /// Individual victim rows refreshed by mitigations.
+    pub victim_rows_refreshed: u64,
+    /// Number of times the tracker raised ALERT.
+    pub alerts_requested: u64,
+    /// Mitigations performed under (and stealing time from) REF.
+    pub ref_mitigations: u64,
+}
+
+impl MitigationStats {
+    /// Fraction of observed ACTs that escaped filtering.
+    pub fn escape_fraction(&self) -> f64 {
+        if self.acts_observed == 0 {
+            0.0
+        } else {
+            self.acts_candidate as f64 / self.acts_observed as f64
+        }
+    }
+
+    /// Mitigations per ACT (the paper's "mitigation overhead", Table VIII).
+    pub fn mitigation_rate(&self) -> f64 {
+        if self.acts_observed == 0 {
+            0.0
+        } else {
+            self.mitigations as f64 / self.acts_observed as f64
+        }
+    }
+}
+
+/// Bounded log of mitigated aggressors `(bank, row)` for security harnesses.
+///
+/// Performance simulations never drain the log, so it is capped: pushes
+/// beyond [`MitigationLog::CAP`] are counted but dropped.
+#[derive(Debug, Clone, Default)]
+pub struct MitigationLog {
+    entries: Vec<(usize, u32)>,
+    dropped: u64,
+}
+
+impl MitigationLog {
+    /// Maximum buffered entries.
+    pub const CAP: usize = 8192;
+
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a mitigation of `row` in `bank`.
+    pub fn push(&mut self, bank: usize, row: u32) {
+        if self.entries.len() < Self::CAP {
+            self.entries.push((bank, row));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries dropped past the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Takes everything logged since the last drain.
+    pub fn drain(&mut self) -> Vec<(usize, u32)> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// An in-DRAM Rowhammer mitigation engine for one sub-channel.
+///
+/// Implementations must be deterministic given their RNG seed; the device
+/// calls the hooks in global time order.
+pub trait Mitigator {
+    /// Short, stable identifier used in reports (e.g. `"mirza"`, `"prac-moat"`).
+    fn name(&self) -> &'static str;
+
+    /// Called for every ACT, after the device applied it. `bank` is the flat
+    /// bank index within the sub-channel.
+    fn on_activate(&mut self, bank: usize, row: u32, now: Ps);
+
+    /// True when the tracker needs an ALERT back-off. Sampled by the device
+    /// after every command; level-triggered (stays set until the back-off
+    /// RFM arrives).
+    fn alert_pending(&self) -> bool {
+        false
+    }
+
+    /// An all-bank REF was issued. The tracker may use part of the REF time
+    /// for opportunistic mitigation (refresh cannibalization) and must reset
+    /// any per-region state for the refreshed rows.
+    fn on_ref(&mut self, slice: &RefreshSlice, now: Ps);
+
+    /// An RFM was issued. `alert` is true when the RFM is the ABO back-off
+    /// response to [`alert_pending`](Self::alert_pending); trackers should
+    /// then perform one mitigation per bank and clear the alert condition.
+    fn on_rfm(&mut self, alert: bool, now: Ps);
+
+    /// Activity counters accumulated so far.
+    fn stats(&self) -> MitigationStats;
+
+    /// The row-address mapping the tracker assumes, used by harnesses to
+    /// translate aggressors to victims consistently. `None` when the tracker
+    /// is mapping-agnostic (e.g. PRAC counters).
+    fn mapping(&self) -> Option<&RowMapping> {
+        None
+    }
+
+    /// Drains the `(bank, aggressor_row)` log of mitigations performed since
+    /// the last call (see [`MitigationLog`]). Security harnesses use this to
+    /// credit victim refreshes; trackers that do not log return nothing.
+    fn drain_mitigations(&mut self) -> Vec<(usize, u32)> {
+        Vec::new()
+    }
+}
+
+/// The unprotected baseline: observes nothing, mitigates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMitigator {
+    stats: MitigationStats,
+}
+
+impl NullMitigator {
+    /// Creates the no-op mitigator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Mitigator for NullMitigator {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_activate(&mut self, _bank: usize, _row: u32, _now: Ps) {
+        self.stats.acts_observed += 1;
+    }
+
+    fn on_ref(&mut self, _slice: &RefreshSlice, _now: Ps) {}
+
+    fn on_rfm(&mut self, _alert: bool, _now: Ps) {}
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mitigator_counts_acts_only() {
+        let mut m = NullMitigator::new();
+        m.on_activate(0, 1, Ps::ZERO);
+        m.on_activate(1, 2, Ps::from_ns(46));
+        m.on_ref(
+            &RefreshSlice {
+                index: 0,
+                phys_rows: 0..16,
+            },
+            Ps::from_us(3),
+        );
+        m.on_rfm(true, Ps::from_us(4));
+        let s = m.stats();
+        assert_eq!(s.acts_observed, 2);
+        assert_eq!(s.mitigations, 0);
+        assert!(!m.alert_pending());
+        assert_eq!(m.name(), "none");
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = MitigationStats {
+            acts_observed: 1200,
+            acts_candidate: 12,
+            mitigations: 1,
+            ..Default::default()
+        };
+        assert!((s.escape_fraction() - 0.01).abs() < 1e-12);
+        assert!((s.mitigation_rate() - 1.0 / 1200.0).abs() < 1e-12);
+        let zero = MitigationStats::default();
+        assert_eq!(zero.escape_fraction(), 0.0);
+        assert_eq!(zero.mitigation_rate(), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Integer picosecond time base used by the whole simulator.
+//!
+//! All JEDEC parameters are converted to [`Ps`] once, at configuration time,
+//! so the simulation engine never touches floating point and is exactly
+//! reproducible across platforms.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in time or a duration, in picoseconds.
+///
+/// `Ps` is deliberately a thin `u64` newtype: cheap to copy, totally ordered,
+/// and supporting the arithmetic a discrete-event simulator needs.
+///
+/// ```
+/// use mirza_dram::time::Ps;
+/// let t = Ps::from_ns(14) + Ps::from_ns(32);
+/// assert_eq!(t, Ps::from_ns(46));
+/// assert_eq!(t.as_ns_f64(), 46.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ps(u64);
+
+impl Ps {
+    /// Time zero / zero-length duration.
+    pub const ZERO: Ps = Ps(0);
+    /// The maximum representable instant (used as "never").
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Constructs from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Ps(ps)
+    }
+
+    /// Constructs from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Ps(ns * 1_000)
+    }
+
+    /// Constructs from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Ps(us * 1_000_000)
+    }
+
+    /// Constructs from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Ps(ms * 1_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Lossy conversion to nanoseconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Lossy conversion to milliseconds (floating point, for reporting only).
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: returns [`Ps::ZERO`] instead of underflowing.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Ps) -> Option<Ps> {
+        self.0.checked_add(rhs.0).map(Ps)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, rhs: Ps) -> Ps {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, rhs: Ps) -> Ps {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// How many whole periods of `period` fit in `self`.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    #[inline]
+    pub fn div_duration(self, period: Ps) -> u64 {
+        assert!(period.0 != 0, "division by zero-length period");
+        self.0 / period.0
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    #[inline]
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    #[inline]
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Rem<Ps> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn rem(self, rhs: Ps) -> Ps {
+        Ps(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Ps::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Ps::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Ps::from_ms(32).as_ps(), 32_000_000_000);
+        assert_eq!(Ps::from_ms(32).as_ms_f64(), 32.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ps::from_ns(46);
+        let b = Ps::from_ns(14);
+        assert_eq!(a + b, Ps::from_ns(60));
+        assert_eq!(a - b, Ps::from_ns(32));
+        assert_eq!(b * 3, Ps::from_ns(42));
+        assert_eq!(a / 2, Ps::from_ns(23));
+        assert_eq!(Ps::from_ns(10).saturating_sub(Ps::from_ns(20)), Ps::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Ps::from_ns(5);
+        let b = Ps::from_ns(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn div_duration_counts_whole_periods() {
+        let refw = Ps::from_ms(32);
+        let refi = Ps::from_ns(3900);
+        assert_eq!(refw.div_duration(refi), 8205);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length period")]
+    fn div_duration_zero_panics() {
+        let _ = Ps::from_ns(1).div_duration(Ps::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Ps::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", Ps::from_ns(46)), "46.000ns");
+        assert_eq!(format!("{}", Ps::from_ms(32)), "32.000ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Ps = [Ps::from_ns(1), Ps::from_ns(2), Ps::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Ps::from_ns(6));
+    }
+}

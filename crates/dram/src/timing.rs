@@ -1,0 +1,210 @@
+//! JEDEC DDR5 timing parameters (Table I of the paper) plus the PRAC
+//! overlay that inflates `tRP`/`tRC` to make room for counter updates.
+
+use crate::time::Ps;
+
+/// Complete set of timing constraints enforced by the device model.
+///
+/// Values default to the paper's DDR5-6000AN configuration (Table I);
+/// [`TimingParams::ddr5_6000_prac`] applies the PRAC changes
+/// (`tRP` 14→36 ns, `tRAS` 32→16 ns, `tRC` 46→52 ns).
+///
+/// ```
+/// use mirza_dram::timing::TimingParams;
+/// use mirza_dram::time::Ps;
+/// let t = TimingParams::ddr5_6000();
+/// assert_eq!(t.t_rc, Ps::from_ns(46));
+/// let p = TimingParams::ddr5_6000_prac();
+/// assert_eq!(p.t_rc, Ps::from_ns(52));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingParams {
+    /// DRAM clock period (DDR5-6000: 333 ps).
+    pub t_ck: Ps,
+    /// ACT to internal read/write (row access latency), 14 ns.
+    pub t_rcd: Ps,
+    /// PRE to ACT (precharge time), 14 ns (36 ns under PRAC).
+    pub t_rp: Ps,
+    /// ACT to PRE minimum (row active time), 32 ns (16 ns under PRAC).
+    pub t_ras: Ps,
+    /// ACT to ACT, same bank (row cycle), 46 ns (52 ns under PRAC).
+    pub t_rc: Ps,
+    /// ACT to ACT, different banks of the same rank.
+    pub t_rrd: Ps,
+    /// Rolling window in which at most four ACTs may be issued per rank.
+    pub t_faw: Ps,
+    /// Column command to column command (same bank group, burst time).
+    pub t_ccd: Ps,
+    /// Internal read to precharge.
+    pub t_rtp: Ps,
+    /// Write recovery: end of write burst to precharge.
+    pub t_wr: Ps,
+    /// Write-to-read turnaround (end of write burst to read command).
+    pub t_wtr: Ps,
+    /// Read CAS latency (command to first data).
+    pub cl: Ps,
+    /// Write CAS latency.
+    pub cwl: Ps,
+    /// Data burst duration on the bus (BL16 on a 32-bit sub-channel).
+    pub t_burst: Ps,
+    /// Refresh window: every row must be refreshed once per tREFW, 32 ms.
+    pub t_refw: Ps,
+    /// Average interval between REF commands, 3900 ns.
+    pub t_refi: Ps,
+    /// Execution time of a REF command, 410 ns.
+    pub t_rfc: Ps,
+    /// Execution time of an RFM command (DRAM busy for mitigation).
+    pub t_rfm: Ps,
+    /// ALERT prologue: the MC may keep issuing for this long after
+    /// ALERT assertion (180 ns).
+    pub t_alert_prologue: Ps,
+    /// ALERT stall: DRAM unavailable while servicing the back-off RFM (350 ns).
+    pub t_alert_stall: Ps,
+}
+
+impl TimingParams {
+    /// The paper's baseline DDR5-6000AN parameter set (Table I + Table III).
+    pub fn ddr5_6000() -> Self {
+        let t_ck = Ps::from_ps(333);
+        TimingParams {
+            t_ck,
+            t_rcd: Ps::from_ns(14),
+            t_rp: Ps::from_ns(14),
+            t_ras: Ps::from_ns(32),
+            t_rc: Ps::from_ns(46),
+            // tRRD_S = 8 tCK at 6000 MT/s.
+            t_rrd: Ps::from_ps(8 * 333),
+            // Paper uses 12-13 ns for the DoS analysis; we take 13 ns.
+            t_faw: Ps::from_ns(13),
+            // BL16: 8 clocks between column commands.
+            t_ccd: Ps::from_ps(8 * 333),
+            t_rtp: Ps::from_ns(8),
+            t_wr: Ps::from_ns(30),
+            t_wtr: Ps::from_ns(10),
+            cl: Ps::from_ns(14),
+            cwl: Ps::from_ps(14_000 - 2 * 333),
+            t_burst: Ps::from_ps(8 * 333),
+            t_refw: Ps::from_ms(32),
+            t_refi: Ps::from_ns(3900),
+            t_rfc: Ps::from_ns(410),
+            t_rfm: Ps::from_ns(350),
+            t_alert_prologue: Ps::from_ns(180),
+            t_alert_stall: Ps::from_ns(350),
+        }
+    }
+
+    /// DDR5-6000 with the PRAC timing overlay (Table I, "PRAC" column).
+    pub fn ddr5_6000_prac() -> Self {
+        TimingParams {
+            t_rp: Ps::from_ns(36),
+            t_ras: Ps::from_ns(16),
+            t_rc: Ps::from_ns(52),
+            ..Self::ddr5_6000()
+        }
+    }
+
+    /// Number of REF commands issued per refresh window.
+    pub fn refs_per_refw(&self) -> u64 {
+        self.t_refw.div_duration(self.t_refi)
+    }
+
+    /// Validates internal consistency of the parameter set.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violated invariant
+    /// (e.g. `tRC < tRAS + tRP`, zero-length clock).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_ck == Ps::ZERO {
+            return Err("tCK must be non-zero".to_string());
+        }
+        if self.t_rc < self.t_ras {
+            return Err(format!(
+                "tRC ({}) must be >= tRAS ({})",
+                self.t_rc, self.t_ras
+            ));
+        }
+        if self.t_refi >= self.t_refw {
+            return Err(format!(
+                "tREFI ({}) must be < tREFW ({})",
+                self.t_refi, self.t_refw
+            ));
+        }
+        if self.t_rfc >= self.t_refi {
+            return Err(format!(
+                "tRFC ({}) must be < tREFI ({}) or refresh starves the bank",
+                self.t_rfc, self.t_refi
+            ));
+        }
+        if self.t_faw < self.t_rrd {
+            return Err(format!(
+                "tFAW ({}) must be >= tRRD ({})",
+                self.t_faw, self.t_rrd
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr5_6000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let t = TimingParams::ddr5_6000();
+        assert_eq!(t.t_rcd, Ps::from_ns(14));
+        assert_eq!(t.t_rp, Ps::from_ns(14));
+        assert_eq!(t.t_ras, Ps::from_ns(32));
+        assert_eq!(t.t_rc, Ps::from_ns(46));
+        assert_eq!(t.t_refw, Ps::from_ms(32));
+        assert_eq!(t.t_refi, Ps::from_ns(3900));
+        assert_eq!(t.t_rfc, Ps::from_ns(410));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn prac_overlay_matches_table1() {
+        let t = TimingParams::ddr5_6000_prac();
+        assert_eq!(t.t_rcd, Ps::from_ns(14)); // unchanged
+        assert_eq!(t.t_rp, Ps::from_ns(36));
+        assert_eq!(t.t_ras, Ps::from_ns(16));
+        assert_eq!(t.t_rc, Ps::from_ns(52));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn refs_per_refw_is_about_8k() {
+        let t = TimingParams::ddr5_6000();
+        let n = t.refs_per_refw();
+        assert!((8000..8400).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn validate_rejects_inconsistency() {
+        let mut t = TimingParams::ddr5_6000();
+        t.t_rc = Ps::from_ns(1);
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::ddr5_6000();
+        t.t_refi = Ps::from_ms(64);
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::ddr5_6000();
+        t.t_ck = Ps::ZERO;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn alert_latency_matches_paper() {
+        // "The latency of ALERT is 530ns, out of which DRAM is unavailable
+        // for 350ns."
+        let t = TimingParams::ddr5_6000();
+        assert_eq!(t.t_alert_prologue + t.t_alert_stall, Ps::from_ns(530));
+    }
+}

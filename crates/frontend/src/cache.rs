@@ -1,0 +1,177 @@
+//! Set-associative last-level cache with true-LRU replacement and
+//! write-back/write-allocate semantics (Table III: 16 MB, 16-way, 64 B).
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was filled; `writeback` carries the evicted dirty line
+    /// address (in line units), if any.
+    Miss {
+        /// Dirty victim that must be written back to DRAM.
+        writeback: Option<u64>,
+    },
+}
+
+/// A physically indexed set-associative cache over line addresses.
+///
+/// ```
+/// use mirza_frontend::cache::{CacheOutcome, SetAssocCache};
+/// let mut c = SetAssocCache::new(1 << 14, 2);
+/// assert!(matches!(c.access(7, false), CacheOutcome::Miss { .. }));
+/// assert_eq!(c.access(7, false), CacheOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// Tag per (set, way); `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU timestamp per (set, way).
+    stamp: Vec<u64>,
+    dirty: Vec<bool>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        SetAssocCache {
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stamp: vec![0; sets * ways],
+            dirty: vec![false; sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's shared LLC: 16 MB, 16-way, 64 B lines -> 16384 sets.
+    pub fn llc_16mb() -> Self {
+        Self::new(16 * 1024 * 1024 / 64 / 16, 16)
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Hits observed.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Accesses `line` (an address in line units), allocating on miss.
+    /// `write` marks the line dirty.
+    pub fn access(&mut self, line: u64, write: bool) -> CacheOutcome {
+        self.tick += 1;
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        let slots = base..base + self.ways;
+        // Hit?
+        for i in slots.clone() {
+            if self.tags[i] == line {
+                self.stamp[i] = self.tick;
+                self.dirty[i] |= write;
+                self.hits += 1;
+                return CacheOutcome::Hit;
+            }
+        }
+        self.misses += 1;
+        // Prefer an invalid way, else evict LRU.
+        let victim = slots
+            .clone()
+            .find(|&i| self.tags[i] == u64::MAX)
+            .unwrap_or_else(|| {
+                slots
+                    .min_by_key(|&i| self.stamp[i])
+                    .expect("ways is non-zero")
+            });
+        let writeback = (self.tags[victim] != u64::MAX && self.dirty[victim])
+            .then_some(self.tags[victim]);
+        self.tags[victim] = line;
+        self.stamp[victim] = self.tick;
+        self.dirty[victim] = write;
+        CacheOutcome::Miss { writeback }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(10, false);
+        c.access(20, false);
+        c.access(10, false); // 20 is now LRU
+        c.access(30, false); // evicts 20
+        assert_eq!(c.access(10, false), CacheOutcome::Hit);
+        assert!(matches!(c.access(20, false), CacheOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.access(5, true);
+        match c.access(6, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, Some(5)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        // Clean eviction has no writeback.
+        match c.access(7, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, None),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.access(5, false);
+        c.access(5, true); // hit, becomes dirty
+        match c.access(6, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, Some(5)),
+            other => panic!("expected miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(0, false); // set 0
+        c.access(1, false); // set 1
+        assert_eq!(c.access(0, false), CacheOutcome::Hit);
+        assert_eq!(c.access(1, false), CacheOutcome::Hit);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn llc_shape() {
+        let c = SetAssocCache::llc_16mb();
+        assert_eq!(c.capacity_lines() * 64, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        let _ = SetAssocCache::new(3, 1);
+    }
+}

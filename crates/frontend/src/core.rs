@@ -1,0 +1,384 @@
+//! Interval model of an out-of-order core (Table III: 8 cores, 4 GHz,
+//! 4-wide, 392-entry ROB).
+//!
+//! The model is event-driven: non-memory instructions retire at the full
+//! pipeline width; LLC hits are fully hidden by out-of-order execution;
+//! DRAM-bound misses overlap with each other and with compute until either
+//! the MSHR budget is exhausted or an unfinished load falls a full ROB
+//! behind the fetch front — the two first-order stall mechanisms of an OOO
+//! core. This reproduces relative slowdowns from memory-timing changes
+//! without a per-cycle pipeline simulation.
+
+use std::collections::VecDeque;
+
+use mirza_dram::time::Ps;
+
+use crate::trace::AccessStream;
+
+/// Core microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Retire width (instructions per cycle).
+    pub width: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob: u64,
+    /// Maximum outstanding DRAM misses (MSHRs).
+    pub mshr: usize,
+    /// Clock period (4 GHz -> 250 ps).
+    pub cycle: Ps,
+}
+
+impl Default for CoreParams {
+    fn default() -> Self {
+        CoreParams {
+            width: 4,
+            rob: 392,
+            mshr: 16,
+            cycle: Ps::from_ps(250),
+        }
+    }
+}
+
+/// What the memory system did with an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// LLC hit: latency hidden, core continues.
+    Ready,
+    /// DRAM access in flight; completion arrives via [`Core::complete`]
+    /// with this token.
+    Pending(u64),
+}
+
+/// Why [`Core::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Waiting on a DRAM completion (MSHR full or ROB head blocked).
+    Blocked,
+    /// Reached the time horizon with work remaining.
+    HorizonReached,
+    /// Retired the target instruction count (or trace ended).
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    token: u64,
+    instr_idx: u64,
+    is_load: bool,
+    done: Option<Ps>,
+}
+
+/// One simulated core executing an [`AccessStream`].
+pub struct Core {
+    id: u32,
+    params: CoreParams,
+    trace: Box<dyn AccessStream>,
+    target_instr: u64,
+    time: Ps,
+    instr: u64,
+    /// Sub-cycle residual instructions not yet converted to time.
+    residual: u32,
+    outstanding: VecDeque<Flight>,
+    pending_mem: Option<(u64, bool, u64)>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("time", &self.time)
+            .field("instr", &self.instr)
+            .field("outstanding", &self.outstanding.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core that executes `trace` until `target_instr`
+    /// instructions retire.
+    pub fn new(id: u32, params: CoreParams, trace: Box<dyn AccessStream>, target_instr: u64) -> Self {
+        Core {
+            id,
+            params,
+            trace,
+            target_instr,
+            time: Ps::ZERO,
+            instr: 0,
+            residual: 0,
+            outstanding: VecDeque::new(),
+            pending_mem: None,
+            finished: false,
+        }
+    }
+
+    /// Core identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Local time (last retirement instant).
+    pub fn time(&self) -> Ps {
+        self.time
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instr
+    }
+
+    /// True once the target instruction count was reached.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Outstanding DRAM misses.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Instructions per cycle achieved so far (the sub-cycle residual of
+    /// instructions not yet converted to whole cycles is charged here, so
+    /// IPC never exceeds the pipeline width).
+    pub fn ipc(&self) -> f64 {
+        let residual_ps =
+            self.params.cycle.as_ps() as f64 * f64::from(self.residual) / f64::from(self.params.width);
+        let elapsed = self.time.as_ps() as f64 + residual_ps;
+        if elapsed == 0.0 {
+            0.0
+        } else {
+            self.instr as f64 * self.params.cycle.as_ps() as f64 / elapsed
+        }
+    }
+
+    /// Delivers the DRAM completion for `token` at instant `at`.
+    pub fn complete(&mut self, token: u64, at: Ps) {
+        if let Some(f) = self.outstanding.iter_mut().find(|f| f.token == token) {
+            debug_assert!(f.done.is_none(), "double completion for token {token}");
+            f.done = Some(at);
+        }
+    }
+
+    fn advance_compute(&mut self, instrs: u32) {
+        let total = self.residual + instrs;
+        let cycles = u64::from(total / self.params.width);
+        self.residual = total % self.params.width;
+        self.time += self.params.cycle * cycles;
+        self.instr += u64::from(instrs);
+    }
+
+    /// Runs until `horizon`, a DRAM dependency blocks, or the instruction
+    /// target is reached. `access` is the memory system: it receives
+    /// `(vaddr, is_store, issue_time)` and says whether the access hit or
+    /// went to DRAM.
+    pub fn run<F>(&mut self, horizon: Ps, mut access: F) -> RunStatus
+    where
+        F: FnMut(u64, bool, Ps) -> AccessResult,
+    {
+        loop {
+            if self.finished {
+                return RunStatus::Finished;
+            }
+            if self.time >= horizon {
+                return RunStatus::HorizonReached;
+            }
+            // Fetch the next trace record when no memory op is waiting.
+            if self.pending_mem.is_none() {
+                match self.trace.next_op() {
+                    None => {
+                        self.finished = true;
+                        return RunStatus::Finished;
+                    }
+                    Some(op) => {
+                        self.advance_compute(op.nonmem + 1);
+                        self.pending_mem = Some((op.vaddr, op.is_store, self.instr - 1));
+                        if self.instr >= self.target_instr {
+                            self.finished = true;
+                            return RunStatus::Finished;
+                        }
+                    }
+                }
+            }
+            // Retire fully-overlapped flights from the ROB head.
+            while let Some(f) = self.outstanding.front() {
+                match f.done {
+                    Some(d) if d <= self.time => {
+                        self.outstanding.pop_front();
+                    }
+                    _ => break,
+                }
+            }
+            let (_, _, idx) = *self.pending_mem.as_ref().expect("op staged");
+            // MSHR limit: wait for the oldest flight.
+            if self.outstanding.len() >= self.params.mshr {
+                match self.outstanding.front().expect("mshr full").done {
+                    Some(d) => {
+                        self.time = self.time.max(d);
+                        self.outstanding.pop_front();
+                        continue;
+                    }
+                    None => return RunStatus::Blocked,
+                }
+            }
+            // ROB limit: an unfinished load a full ROB behind fetch stalls us.
+            if let Some(front) = self.outstanding.front() {
+                if front.is_load && front.instr_idx + self.params.rob <= idx {
+                    match front.done {
+                        Some(d) => {
+                            self.time = self.time.max(d);
+                            self.outstanding.pop_front();
+                            continue;
+                        }
+                        None => return RunStatus::Blocked,
+                    }
+                }
+            }
+            // Issue the access.
+            let (vaddr, is_store, idx) = self.pending_mem.take().expect("op staged");
+            match access(vaddr, is_store, self.time) {
+                AccessResult::Ready => {}
+                AccessResult::Pending(token) => {
+                    self.outstanding.push_back(Flight {
+                        token,
+                        instr_idx: idx,
+                        is_load: !is_store,
+                        done: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceOp, VecStream};
+
+    fn ops(n: usize, nonmem: u32) -> Box<VecStream> {
+        Box::new(VecStream::once(
+            (0..n)
+                .map(|i| TraceOp {
+                    nonmem,
+                    vaddr: i as u64 * 64,
+                    is_store: false,
+                })
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn all_hits_run_at_full_width() {
+        let mut c = Core::new(0, CoreParams::default(), ops(100, 3), u64::MAX);
+        let st = c.run(Ps::from_ms(1), |_, _, _| AccessResult::Ready);
+        assert_eq!(st, RunStatus::Finished);
+        assert_eq!(c.instructions(), 400);
+        // 400 instructions at width 4 = 100 cycles.
+        assert_eq!(c.time(), Ps::from_ps(250) * 100);
+        assert!((c.ipc() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misses_overlap_until_mshr_full() {
+        let params = CoreParams {
+            mshr: 4,
+            ..CoreParams::default()
+        };
+        let mut c = Core::new(0, params, ops(4, 0), u64::MAX);
+        let mut next = 0u64;
+        let st = c.run(Ps::from_ms(1), |_, _, _| {
+            next += 1;
+            AccessResult::Pending(next)
+        });
+        // Four misses fit the MSHRs; the trace ends without blocking.
+        assert_eq!(st, RunStatus::Finished);
+        assert_eq!(c.outstanding(), 4);
+    }
+
+    #[test]
+    fn blocks_on_fifth_miss_and_resumes_on_completion() {
+        let params = CoreParams {
+            mshr: 4,
+            ..CoreParams::default()
+        };
+        let mut c = Core::new(0, params, ops(8, 0), u64::MAX);
+        let mut next = 0u64;
+        let mut issue = |_: u64, _: bool, _: Ps| {
+            next += 1;
+            AccessResult::Pending(next)
+        };
+        let st = c.run(Ps::from_ms(1), &mut issue);
+        assert_eq!(st, RunStatus::Blocked);
+        let blocked_at = c.time();
+        // Complete the oldest miss far in the future: the stall is charged.
+        c.complete(1, Ps::from_us(1));
+        let st = c.run(Ps::from_ms(1), &mut issue);
+        assert_eq!(st, RunStatus::Blocked); // blocks again on the next one
+        assert!(c.time() >= Ps::from_us(1), "stall advanced time");
+        assert!(c.time() > blocked_at);
+    }
+
+    #[test]
+    fn rob_limit_blocks_distant_loads() {
+        let params = CoreParams {
+            rob: 8,
+            mshr: 64,
+            ..CoreParams::default()
+        };
+        // Each op is 4 instructions; after 2 outstanding ops the ROB(8) gate
+        // engages for the third.
+        let mut c = Core::new(0, params, ops(8, 3), u64::MAX);
+        let mut next = 0u64;
+        let st = c.run(Ps::from_ms(1), |_, _, _| {
+            next += 1;
+            AccessResult::Pending(next)
+        });
+        assert_eq!(st, RunStatus::Blocked);
+        assert!(c.outstanding() <= 3);
+    }
+
+    #[test]
+    fn stores_do_not_block_the_rob() {
+        let params = CoreParams {
+            rob: 4,
+            mshr: 64,
+            ..CoreParams::default()
+        };
+        let trace = VecStream::once(
+            (0..16)
+                .map(|i| TraceOp {
+                    nonmem: 3,
+                    vaddr: i * 64,
+                    is_store: true,
+                })
+                .collect(),
+        );
+        let mut c = Core::new(0, params, Box::new(trace), u64::MAX);
+        let mut next = 0u64;
+        let st = c.run(Ps::from_ms(1), |_, _, _| {
+            next += 1;
+            AccessResult::Pending(next)
+        });
+        assert_eq!(st, RunStatus::Finished, "stores never gate retirement");
+    }
+
+    #[test]
+    fn horizon_pauses_execution() {
+        let mut c = Core::new(0, CoreParams::default(), ops(1000, 3), u64::MAX);
+        let st = c.run(Ps::from_ps(250) * 10, |_, _, _| AccessResult::Ready);
+        assert_eq!(st, RunStatus::HorizonReached);
+        assert!(c.instructions() < 4000);
+        let st = c.run(Ps::from_ms(1), |_, _, _| AccessResult::Ready);
+        assert_eq!(st, RunStatus::Finished);
+        assert_eq!(c.instructions(), 4000);
+    }
+
+    #[test]
+    fn instruction_target_finishes_early() {
+        let mut c = Core::new(0, CoreParams::default(), ops(1000, 3), 100);
+        let st = c.run(Ps::from_ms(1), |_, _, _| AccessResult::Ready);
+        assert_eq!(st, RunStatus::Finished);
+        assert!(c.instructions() >= 100);
+        assert!(c.instructions() < 110);
+    }
+}

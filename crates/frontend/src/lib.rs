@@ -1,0 +1,23 @@
+//! # mirza-frontend — CPU-side substrate
+//!
+//! The processor model feeding the memory system: an interval model of an
+//! out-of-order core ([`core`]), a shared set-associative LLC ([`cache`]),
+//! clock-style first-touch page allocation ([`paging`]) and the trace
+//! vocabulary workload generators emit ([`trace`]).
+//!
+//! The core model needs no per-cycle loop: compute retires at full width,
+//! LLC hits are hidden, and DRAM misses stall only through the two
+//! first-order OOO mechanisms (MSHR exhaustion and ROB-head blocking).
+
+pub mod cache;
+pub mod core;
+pub mod paging;
+pub mod trace;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::cache::{CacheOutcome, SetAssocCache};
+    pub use crate::core::{AccessResult, Core, CoreParams, RunStatus};
+    pub use crate::paging::{PageAllocator, PAGE_BYTES};
+    pub use crate::trace::{AccessStream, TraceOp, VecStream};
+}

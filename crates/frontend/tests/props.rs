@@ -1,0 +1,92 @@
+//! Property-based tests for the CPU-side substrate: cache coherence of the
+//! LRU model, paging stability, and core instruction accounting.
+
+use proptest::prelude::*;
+
+use mirza_frontend::cache::{CacheOutcome, SetAssocCache};
+use mirza_frontend::core::{AccessResult, Core, CoreParams};
+use mirza_frontend::paging::PageAllocator;
+use mirza_frontend::trace::{TraceOp, VecStream};
+use mirza_dram::time::Ps;
+
+proptest! {
+    /// Immediately re-accessing any line hits, whatever came before.
+    #[test]
+    fn access_then_access_hits(
+        warm in proptest::collection::vec(0u64..4096, 0..200),
+        probe in 0u64..4096,
+    ) {
+        let mut c = SetAssocCache::new(64, 4);
+        for line in warm {
+            c.access(line, false);
+        }
+        c.access(probe, false);
+        prop_assert_eq!(c.access(probe, false), CacheOutcome::Hit);
+    }
+
+    /// A dirty line evicted is reported exactly once as a write-back, and
+    /// hit+miss counts always equal total accesses.
+    #[test]
+    fn accounting_balances(
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300),
+    ) {
+        let mut c = SetAssocCache::new(16, 2);
+        let total = ops.len() as u64;
+        for (line, write) in ops {
+            c.access(line, write);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), total);
+    }
+
+    /// Translation is stable (same VA -> same PA) and page-aligned offsets
+    /// are preserved.
+    #[test]
+    fn paging_is_stable(
+        vaddrs in proptest::collection::vec(0u64..(1u64 << 30), 1..100),
+        core in 0u32..8,
+    ) {
+        let mut p = PageAllocator::new(4u64 << 30);
+        let first: Vec<u64> = vaddrs.iter().map(|&v| p.translate(core, v)).collect();
+        for (v, pa) in vaddrs.iter().zip(&first) {
+            prop_assert_eq!(p.translate(core, *v), *pa, "translation changed");
+            prop_assert_eq!(v % 4096, pa % 4096, "offset not preserved");
+        }
+    }
+
+    /// The core retires exactly the trace's instructions when nothing
+    /// stalls, and its IPC never exceeds the pipeline width.
+    #[test]
+    fn core_retires_exactly_the_trace(
+        gaps in proptest::collection::vec(0u32..12, 1..100),
+    ) {
+        let expected: u64 = gaps.iter().map(|&g| u64::from(g) + 1).sum();
+        let ops = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| TraceOp { nonmem: g, vaddr: i as u64 * 64, is_store: false })
+            .collect();
+        let mut core = Core::new(0, CoreParams::default(), Box::new(VecStream::once(ops)), u64::MAX);
+        core.run(Ps::from_ms(10), |_, _, _| AccessResult::Ready);
+        prop_assert_eq!(core.instructions(), expected);
+        prop_assert!(core.ipc() <= 4.0 + 1e-9, "ipc {} exceeds width", core.ipc());
+    }
+
+    /// With pending DRAM misses, outstanding never exceeds the MSHR count.
+    #[test]
+    fn mshr_budget_is_respected(
+        n_ops in 1usize..80,
+        mshr in 1usize..16,
+    ) {
+        let ops = (0..n_ops)
+            .map(|i| TraceOp { nonmem: 0, vaddr: i as u64 * 64, is_store: false })
+            .collect();
+        let params = CoreParams { mshr, ..CoreParams::default() };
+        let mut core = Core::new(0, params, Box::new(VecStream::once(ops)), u64::MAX);
+        let mut token = 0u64;
+        core.run(Ps::from_ms(10), |_, _, _| {
+            token += 1;
+            AccessResult::Pending(token)
+        });
+        prop_assert!(core.outstanding() <= mshr);
+    }
+}

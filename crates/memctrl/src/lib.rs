@@ -1,0 +1,38 @@
+//! # mirza-memctrl — the memory controller substrate
+//!
+//! FR-FCFS scheduling with a soft close-page policy ([`controller`]), the
+//! MOP4 physical-address mapping of Table III ([`mapping`]), on-time
+//! refresh, proactive RFM with per-bank activation counters, and the
+//! MC side of the ALERT back-off protocol (180 ns prologue, precharge,
+//! back-off RFM).
+//!
+//! ```
+//! use mirza_dram::prelude::*;
+//! use mirza_memctrl::prelude::*;
+//!
+//! let geom = Geometry::ddr5_32gb();
+//! let mapping = RowMapping::for_geometry(MappingScheme::Strided, &geom);
+//! let device = Subchannel::new(
+//!     TimingParams::ddr5_6000(), geom, mapping,
+//!     Box::new(NullMitigator::new()),
+//! );
+//! let mapper = AddressMapper::mop4(geom);
+//! let mut mc = MemController::new(device, McConfig::default(), 0);
+//! let addr = mapper.decode(0x1000);
+//! assert_eq!(addr.bank.subch, 0);
+//! mc.enqueue(Request { id: 1, addr, kind: AccessKind::Read, arrival: Ps::ZERO });
+//! let mut done = Vec::new();
+//! mc.run_until(Ps::from_us(1), &mut done);
+//! assert_eq!(done.len(), 1);
+//! ```
+
+pub mod controller;
+pub mod mapping;
+pub mod request;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::controller::{McConfig, MemController};
+    pub use crate::mapping::AddressMapper;
+    pub use crate::request::{AccessKind, Completion, McStats, Request};
+}

@@ -1,0 +1,98 @@
+//! Memory requests, completions and controller statistics.
+
+use mirza_dram::address::DramAddr;
+use mirza_dram::time::Ps;
+
+/// Direction of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read (demand fill); the requester blocks on the data.
+    Read,
+    /// Write-back; posted, no one waits on it.
+    Write,
+}
+
+/// One cache-line request presented to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the [`Completion`].
+    pub id: u64,
+    /// Decoded DRAM coordinates.
+    pub addr: DramAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Arrival instant at the controller.
+    pub arrival: Ps,
+}
+
+/// Completion record for a finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Instant the data burst finished (reads) or the write was issued.
+    pub done_at: Ps,
+}
+
+/// Row-buffer outcome classification and latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct McStats {
+    /// Requests that hit an already-open row.
+    pub row_hits: u64,
+    /// Requests that found the bank precharged.
+    pub row_misses: u64,
+    /// Requests that had to close another row first.
+    pub row_conflicts: u64,
+    /// Completed read requests.
+    pub reads_done: u64,
+    /// Completed write requests.
+    pub writes_done: u64,
+    /// Sum of read latencies (arrival to data) in picoseconds.
+    pub read_latency_ps: u64,
+    /// ALERT back-offs serviced.
+    pub alerts_serviced: u64,
+    /// Proactive RFMs issued.
+    pub rfms_issued: u64,
+}
+
+impl McStats {
+    /// Mean read latency in nanoseconds.
+    pub fn avg_read_latency_ns(&self) -> f64 {
+        if self.reads_done == 0 {
+            0.0
+        } else {
+            self.read_latency_ps as f64 / self.reads_done as f64 / 1000.0
+        }
+    }
+
+    /// Row-buffer hit rate over all classified requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_hit_rate() {
+        let s = McStats {
+            reads_done: 2,
+            read_latency_ps: 100_000,
+            row_hits: 3,
+            row_misses: 1,
+            row_conflicts: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.avg_read_latency_ns(), 50.0);
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(McStats::default().avg_read_latency_ns(), 0.0);
+        assert_eq!(McStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Monte-Carlo attack engine: replays worst-case activation patterns
+//! against any [`Mitigator`] and measures the maximum number of unmitigated
+//! activations any row accrues (the quantity bounded by Section VI's
+//! `TRH_safe` equations).
+//!
+//! Accounting (per DESIGN.md): a row's unmitigated count increments on each
+//! of its ACTs and resets when (a) the row is mitigated as an aggressor
+//! (its victims are refreshed), or (b) the refresh-pointer walk refreshes
+//! the row (a <=1-REF-slice approximation of its victims' refresh).
+
+use mirza_dram::address::{MappingScheme, RowMapping};
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::Mitigator;
+use mirza_dram::refresh::RefreshPointer;
+use mirza_dram::time::Ps;
+use mirza_dram::timing::TimingParams;
+use mirza_workloads::attacks::RowPattern;
+
+/// ACTs the attacker can land during one ALERT prologue (180 ns / tRC).
+pub const PROLOGUE_ACTS: u32 = 3;
+
+/// Activation slots consumed by the ALERT stall (350 ns / tRC, rounded up).
+pub const STALL_SLOTS: u32 = 8;
+
+/// Result of one attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Maximum unmitigated ACTs observed on any row at any instant.
+    pub max_unmitigated_acts: u32,
+    /// Total attacker activations performed.
+    pub total_acts: u64,
+    /// ALERT back-offs serviced.
+    pub alerts: u64,
+    /// REF commands elapsed.
+    pub refs: u64,
+}
+
+/// Replays activation patterns against a mitigator with a faithful
+/// REF/ALERT timeline for one bank.
+pub struct HammerHarness<'a> {
+    mitigator: &'a mut dyn Mitigator,
+    mapping: RowMapping,
+    bank: usize,
+    counts: Vec<u32>,
+    max: u32,
+    refptr: RefreshPointer,
+    acts_per_interval: u32,
+    now: Ps,
+    t_rc: Ps,
+    acts_since_alert: u32,
+    outcome: AttackOutcome,
+}
+
+impl<'a> HammerHarness<'a> {
+    /// Creates a harness attacking `bank` of `geom` through `mitigator`.
+    /// The attacker ACT budget per REF interval comes from `timing`
+    /// (`(tREFI - tRFC)/tRC`, 75 for baseline DDR5-6000).
+    pub fn new(
+        mitigator: &'a mut dyn Mitigator,
+        geom: &Geometry,
+        timing: &TimingParams,
+        bank: usize,
+    ) -> Self {
+        let mapping = mitigator
+            .mapping()
+            .copied()
+            .unwrap_or_else(|| RowMapping::for_geometry(MappingScheme::Sequential, geom));
+        let acts_per_interval =
+            ((timing.t_refi.as_ps() - timing.t_rfc.as_ps()) / timing.t_rc.as_ps()) as u32;
+        HammerHarness {
+            mitigator,
+            mapping,
+            bank,
+            counts: vec![0; geom.rows_per_bank as usize],
+            max: 0,
+            refptr: RefreshPointer::new(geom.rows_per_bank, geom.rows_per_ref),
+            acts_per_interval,
+            now: Ps::ZERO,
+            t_rc: timing.t_rc,
+            acts_since_alert: 1,
+            outcome: AttackOutcome {
+                max_unmitigated_acts: 0,
+                total_acts: 0,
+                alerts: 0,
+                refs: 0,
+            },
+        }
+    }
+
+    /// Attacker ACT slots per REF interval.
+    pub fn acts_per_interval(&self) -> u32 {
+        self.acts_per_interval
+    }
+
+    /// Current unmitigated count of `row`.
+    pub fn count(&self, row: u32) -> u32 {
+        self.counts[row as usize]
+    }
+
+    fn act(&mut self, row: u32) {
+        self.mitigator.on_activate(self.bank, row, self.now);
+        self.now += self.t_rc;
+        self.acts_since_alert += 1;
+        self.outcome.total_acts += 1;
+        let c = &mut self.counts[row as usize];
+        *c += 1;
+        if *c > self.max {
+            self.max = *c;
+        }
+    }
+
+    fn apply_mitigations(&mut self) {
+        for (bank, row) in self.mitigator.drain_mitigations() {
+            if bank == self.bank {
+                self.counts[row as usize] = 0;
+            }
+        }
+    }
+
+    /// Runs one REF interval of attacker activations from `pattern`,
+    /// honoring the ALERT protocol, then the REF itself.
+    pub fn interval(&mut self, pattern: &mut RowPattern) {
+        let mut budget = i64::from(self.acts_per_interval);
+        while budget > 0 {
+            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
+                for _ in 0..PROLOGUE_ACTS {
+                    if budget > 0 {
+                        let row = pattern.next_act();
+                        self.act(row);
+                        budget -= 1;
+                    }
+                }
+                budget -= i64::from(STALL_SLOTS);
+                self.now += self.t_rc * u64::from(STALL_SLOTS);
+                self.mitigator.on_rfm(true, self.now);
+                self.outcome.alerts += 1;
+                self.acts_since_alert = 0;
+                self.apply_mitigations();
+            } else {
+                let row = pattern.next_act();
+                self.act(row);
+                budget -= 1;
+            }
+        }
+        self.ref_step();
+    }
+
+    /// Runs one idle REF interval (no attacker ACTs).
+    pub fn idle_interval(&mut self) {
+        self.ref_step();
+    }
+
+    fn ref_step(&mut self) {
+        let slice = self.refptr.advance();
+        self.mitigator.on_ref(&slice, self.now);
+        for phys in slice.phys_rows.clone() {
+            self.counts[self.mapping.row_of(phys) as usize] = 0;
+        }
+        self.apply_mitigations();
+        self.outcome.refs += 1;
+        self.now += Ps::from_ns(3900);
+    }
+
+    /// Performs exactly `n` attacker ACTs without advancing refresh
+    /// (scenario scripting helper; regular runs use [`interval`]).
+    ///
+    /// [`interval`]: HammerHarness::interval
+    pub fn burst(&mut self, pattern: &mut RowPattern, n: u32) {
+        for _ in 0..n {
+            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
+                self.mitigator.on_rfm(true, self.now);
+                self.outcome.alerts += 1;
+                self.acts_since_alert = 0;
+                self.apply_mitigations();
+            }
+            let row = pattern.next_act();
+            self.act(row);
+        }
+    }
+
+    /// Finishes and reports.
+    pub fn finish(mut self) -> AttackOutcome {
+        self.outcome.max_unmitigated_acts = self.max;
+        self.outcome
+    }
+}
+
+/// Runs `pattern` flat-out for `refs` REF intervals and reports.
+pub fn run_hammer(
+    mitigator: &mut dyn Mitigator,
+    geom: &Geometry,
+    timing: &TimingParams,
+    bank: usize,
+    pattern: &mut RowPattern,
+    refs: u64,
+) -> AttackOutcome {
+    let mut h = HammerHarness::new(mitigator, geom, timing, bank);
+    for _ in 0..refs {
+        h.interval(pattern);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirza_core::config::MirzaConfig;
+    use mirza_core::mirza::Mirza;
+    use mirza_core::rct::ResetPolicy;
+    use mirza_trackers::prac::PracMoat;
+    use mirza_trackers::trr::Trr;
+
+    fn geom() -> Geometry {
+        Geometry::ddr5_32gb()
+    }
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr5_6000()
+    }
+
+    #[test]
+    fn interval_budget_is_75() {
+        let mut m = Mirza::new(MirzaConfig::trhd_1000(), &geom(), 1);
+        let h = HammerHarness::new(&mut m, &geom(), &timing(), 0);
+        assert_eq!(h.acts_per_interval(), 75);
+    }
+
+    #[test]
+    fn mirza_bounds_double_sided_attack() {
+        let cfg = MirzaConfig::trhd_1000();
+        let mut m = Mirza::new(cfg, &geom(), 7);
+        let mapping = *m.mapping().unwrap();
+        let mut pattern = RowPattern::double_sided(&mapping, 5_000);
+        // One full refresh window of flat-out hammering.
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut pattern, 8192);
+        assert!(out.total_acts > 300_000);
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhd(),
+            "max {} >= bound {}",
+            out.max_unmitigated_acts,
+            cfg.safe_trhd()
+        );
+        assert!(out.alerts > 0, "the attack must be forcing ALERTs");
+    }
+
+    #[test]
+    fn mirza_bounds_single_row_hammer() {
+        let cfg = MirzaConfig::trhd_1000();
+        let mut m = Mirza::new(cfg, &geom(), 11);
+        let mut pattern = RowPattern::single_sided(9_999);
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut pattern, 8192);
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhs(),
+            "max {} >= TRHS bound {}",
+            out.max_unmitigated_acts,
+            cfg.safe_trhs()
+        );
+    }
+
+    #[test]
+    fn mirza_bounds_feinting_style_queue_attack() {
+        // Many rows of one region cycled to keep MIRZA-Q populated
+        // (Figure 10's multi-entry pressure + Figure 12 kernel).
+        let cfg = MirzaConfig::trhd_1000();
+        let mut m = Mirza::new(cfg, &geom(), 13);
+        let mapping = *m.mapping().unwrap();
+        let regions = *m.rct().unwrap().regions();
+        let mut pattern = RowPattern::same_region(&mapping, &regions, 3, 8);
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut pattern, 8192);
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhd(),
+            "max {} >= bound {}",
+            out.max_unmitigated_acts,
+            cfg.safe_trhd()
+        );
+    }
+
+    #[test]
+    fn prac_moat_bounds_everything_cheaply() {
+        let mut p = PracMoat::new(250, &geom());
+        let mut pattern = RowPattern::single_sided(4_242);
+        let out = run_hammer(&mut p, &geom(), &timing(), 0, &mut pattern, 1024);
+        // MOAT mitigates at ATH; slack is the ABO episode only.
+        assert!(
+            out.max_unmitigated_acts <= 250 + PROLOGUE_ACTS + 1,
+            "max {}",
+            out.max_unmitigated_acts
+        );
+    }
+
+    #[test]
+    fn trr_is_broken_by_decoy_pattern() {
+        // 56 decoys hammered 2x per cycle keep the 28-entry table's top
+        // counts; 2 real aggressors at 1x per cycle never become pop_max
+        // targets and accrue unmitigated ACTs past today's TRHD of 4.8K.
+        let mut rows = Vec::new();
+        for d in 0..56u32 {
+            rows.push(40_000 + d * 8);
+            rows.push(40_000 + d * 8); // decoys twice per cycle
+        }
+        rows.push(20_001); // aggressors once per cycle
+        rows.push(20_003);
+        let mut t = Trr::ddr4_like(&geom());
+        let mut pattern = RowPattern::circular(rows);
+        // Two refresh windows so a full window-length unmitigated run
+        // (between two refreshes of the aggressor) is observed.
+        let out = run_hammer(&mut t, &geom(), &timing(), 0, &mut pattern, 16384);
+        assert!(
+            out.max_unmitigated_acts > 4_800,
+            "TRR unexpectedly held: max {}",
+            out.max_unmitigated_acts
+        );
+    }
+
+    #[test]
+    fn mirza_stops_the_trr_breaking_pattern() {
+        // The same decoy pattern against MIRZA configured for TRHD=4.8K
+        // (Table XII) stays bounded.
+        let cfg = MirzaConfig::trhd_4800();
+        let mut m = Mirza::new(cfg, &geom(), 17);
+        let mut rows = Vec::new();
+        for d in 0..56u32 {
+            rows.push(40_000 + d * 8);
+            rows.push(40_000 + d * 8);
+        }
+        rows.push(20_001);
+        rows.push(20_003);
+        let mut pattern = RowPattern::circular(rows);
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut pattern, 8192);
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhd(),
+            "max {} >= bound {}",
+            out.max_unmitigated_acts,
+            cfg.safe_trhd()
+        );
+    }
+
+    #[test]
+    fn mirza_bounds_half_double_and_blacksmith() {
+        let cfg = MirzaConfig::trhd_1000();
+        for (name, mut pattern) in [
+            ("half-double", {
+                let m = Mirza::new(cfg, &geom(), 19);
+                RowPattern::half_double(m.mapping().unwrap(), 5_000)
+            }),
+            ("blacksmith", {
+                let m = Mirza::new(cfg, &geom(), 19);
+                RowPattern::blacksmith(m.mapping().unwrap(), 7, 24, 3)
+            }),
+        ] {
+            let mut m = Mirza::new(cfg, &geom(), 19);
+            let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut pattern, 4096);
+            assert!(
+                out.max_unmitigated_acts < cfg.safe_trhs(),
+                "{name}: {} >= {}",
+                out.max_unmitigated_acts,
+                cfg.safe_trhs()
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_resets_counts() {
+        let mut m = Mirza::new(MirzaConfig::trhd_1000(), &geom(), 3);
+        let mut h = HammerHarness::new(&mut m, &geom(), &timing(), 0);
+        // Hammer row address 0 (physical row 0, refreshed by the first REF).
+        let mut p = RowPattern::single_sided(0);
+        h.burst(&mut p, 10);
+        assert_eq!(h.count(0), 10);
+        h.idle_interval(); // REF slice 0..16 covers physical row 0
+        assert_eq!(h.count(0), 0);
+    }
+
+    #[test]
+    fn reset_policy_attack_breaks_eager_but_not_safe(){
+        // Appendix B: hammer the target FTH-1 times just before the
+        // region's first REF and FTH-1 times during the walk. Eager reset
+        // double-counts the budget; safe reset (RRC) does not.
+        let run = |policy: ResetPolicy| {
+            let fth = 300;
+            let cfg = MirzaConfig {
+                fth,
+                mint_w: 4,
+                ..MirzaConfig::trhd_1000()
+            };
+            let mut m = Mirza::with_reset_policy(cfg, &geom(), 23, policy);
+            let mapping = *m.mapping().unwrap();
+            // Region 5 covers physical rows 5120..6144; its refresh walk is
+            // REF steps 320..384. Target the region's last physical row.
+            let target = mapping.row_of(6143);
+            let mut h = HammerHarness::new(&mut m, &geom(), &timing(), 0);
+            let mut p = RowPattern::single_sided(target);
+            for _ in 0..315 {
+                h.idle_interval();
+            }
+            // Phase 1: FTH-1 ACTs right before the region's first REF.
+            for _ in 315..319 {
+                h.burst(&mut p, (fth - 1) / 4);
+                h.idle_interval();
+            }
+            h.burst(&mut p, (fth - 1) - 4 * ((fth - 1) / 4));
+            h.idle_interval(); // step 319
+            h.idle_interval(); // step 320: the region's first REF (reset)
+            // Phase 2: FTH-1 ACTs while the region is being walked.
+            for _ in 0..8 {
+                h.burst(&mut p, (fth - 1) / 8);
+                h.idle_interval();
+            }
+            let max = h.finish().max_unmitigated_acts;
+            (max, fth)
+        };
+        let (eager, fth) = run(ResetPolicy::Eager);
+        let (safe, _) = run(ResetPolicy::Safe);
+        assert!(
+            eager as f64 >= 1.7 * f64::from(fth),
+            "eager reset should under-count: {eager} vs FTH {fth}"
+        );
+        assert!(
+            (safe as f64) < 1.4 * f64::from(fth),
+            "safe reset must bound the count: {safe} vs FTH {fth}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Analytic models for proactive trackers (Table II): tolerated threshold
+//! versus mitigation rate, and refresh cannibalization.
+
+use mirza_dram::timing::TimingParams;
+
+/// Maximum activations a bank can absorb between two REF commands:
+/// `(tREFI - tRFC) / tRC` (75.9 for baseline DDR5-6000, the window size the
+/// MINT paper calls MINT-75).
+pub fn acts_per_ref_interval(t: &TimingParams) -> f64 {
+    (t.t_refi.as_ps() - t.t_rfc.as_ps()) as f64 / t.t_rc.as_ps() as f64
+}
+
+/// Maximum activations per bank per refresh window (the 621K figure of
+/// Section IV-C / Figure 6).
+pub fn max_acts_per_bank_per_refw(t: &TimingParams) -> f64 {
+    acts_per_ref_interval(t) * t.refs_per_refw() as f64
+}
+
+/// Calibration constant relating a MINT window to its tolerated TRHD
+/// (fits all four published Table II points within 1%).
+pub const MINT_TRHD_PER_WINDOW: f64 = 19.2;
+
+/// TRHD tolerated by MINT mitigating one aggressor per `refs_per_mit` REFs
+/// (Table II column 3).
+pub fn mint_tolerated_trhd(t: &TimingParams, refs_per_mit: u64) -> f64 {
+    MINT_TRHD_PER_WINDOW * acts_per_ref_interval(t) * refs_per_mit as f64
+}
+
+/// TRHD tolerated by a Mithril-style tracker with 2K entries per bank,
+/// mitigating one aggressor per `refs_per_mit` REFs (Table II column 4).
+///
+/// The Mithril bound has no closed form the paper publishes; we interpolate
+/// the published points (1K / 1.7K / 2.9K / 5.4K at rates 1/2/4/8)
+/// piecewise-linearly in the mitigation period and extrapolate linearly
+/// beyond them.
+pub fn mithril_tolerated_trhd(refs_per_mit: u64) -> f64 {
+    const POINTS: [(f64, f64); 4] = [(1.0, 1000.0), (2.0, 1700.0), (4.0, 2900.0), (8.0, 5400.0)];
+    let k = refs_per_mit as f64;
+    if k <= POINTS[0].0 {
+        return POINTS[0].1 * k;
+    }
+    for w in POINTS.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        if k <= x1 {
+            return y0 + (y1 - y0) * (k - x0) / (x1 - x0);
+        }
+    }
+    let (x0, y0) = POINTS[2];
+    let (x1, y1) = POINTS[3];
+    y1 + (y1 - y0) * (k - x1) / (x1 - x0)
+}
+
+/// Fraction of refresh time consumed by mitigations at one aggressor
+/// (280 ns) per `refs_per_mit` REFs (410 ns each) — Table II column 2.
+pub fn refresh_cannibalization(refs_per_mit: u64) -> f64 {
+    280.0 / (410.0 * refs_per_mit as f64)
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// REFs between mitigations.
+    pub refs_per_mitigation: u64,
+    /// Fraction of REF time consumed (column 2).
+    pub refresh_cannibalization: f64,
+    /// MINT tolerated TRHD (column 3).
+    pub mint_trhd: f64,
+    /// Mithril tolerated TRHD (column 4).
+    pub mithril_trhd: f64,
+}
+
+/// Computes all four Table II rows for the given timing.
+pub fn table2(t: &TimingParams) -> Vec<Table2Row> {
+    [1u64, 2, 4, 8]
+        .into_iter()
+        .map(|k| Table2Row {
+            refs_per_mitigation: k,
+            refresh_cannibalization: refresh_cannibalization(k),
+            mint_trhd: mint_tolerated_trhd(t, k),
+            mithril_trhd: mithril_tolerated_trhd(k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr5_6000()
+    }
+
+    #[test]
+    fn window_per_ref_is_about_76() {
+        let w = acts_per_ref_interval(&t());
+        assert!((75.0..77.0).contains(&w), "got {w}");
+    }
+
+    #[test]
+    fn max_acts_matches_621k() {
+        let m = max_acts_per_bank_per_refw(&t());
+        assert!((610_000.0..640_000.0).contains(&m), "got {m}");
+    }
+
+    #[test]
+    fn table2_mint_column() {
+        // Paper: 1.5K / 2.9K / 5.8K / 11.6K.
+        let rows = table2(&t());
+        let expect = [1500.0, 2900.0, 5800.0, 11600.0];
+        for (row, e) in rows.iter().zip(expect) {
+            let rel = (row.mint_trhd - e).abs() / e;
+            assert!(rel < 0.03, "rate {}: {} vs {e}", row.refs_per_mitigation, row.mint_trhd);
+        }
+    }
+
+    #[test]
+    fn table2_mithril_column_hits_published_points() {
+        assert_eq!(mithril_tolerated_trhd(1), 1000.0);
+        assert_eq!(mithril_tolerated_trhd(2), 1700.0);
+        assert_eq!(mithril_tolerated_trhd(4), 2900.0);
+        assert_eq!(mithril_tolerated_trhd(8), 5400.0);
+        // Interpolation and extrapolation are monotone.
+        assert!(mithril_tolerated_trhd(3) > 1700.0);
+        assert!(mithril_tolerated_trhd(3) < 2900.0);
+        assert!(mithril_tolerated_trhd(16) > 5400.0);
+    }
+
+    #[test]
+    fn cannibalization_column() {
+        // Paper: 68% / 34% / 17% / 8.5%.
+        assert!((refresh_cannibalization(1) - 0.683).abs() < 0.01);
+        assert!((refresh_cannibalization(2) - 0.341).abs() < 0.01);
+        assert!((refresh_cannibalization(4) - 0.171).abs() < 0.01);
+        assert!((refresh_cannibalization(8) - 0.085).abs() < 0.01);
+    }
+
+    #[test]
+    fn practical_rates_cannot_protect_current_trh() {
+        // Section II-F: the tolerated TRHD is the *lowest* threshold the
+        // tracker protects. At practical rates (1 per 4-8 REF) MINT's
+        // tolerated TRHD exceeds today's 4.8K, so it cannot protect such
+        // devices; Mithril at 1 per 8 REF (5.4K) cannot either.
+        assert!(mint_tolerated_trhd(&t(), 4) > 4800.0);
+        assert!(mint_tolerated_trhd(&t(), 8) > 4800.0);
+        assert!(mithril_tolerated_trhd(8) > 4800.0);
+        assert!(mithril_tolerated_trhd(4) < 4800.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Simulation configuration: which mitigation runs, with which timing
+//! overlay and controller policy (Table III baseline system).
+
+use mirza_core::config::MirzaConfig;
+use mirza_core::mirza::Mirza;
+use mirza_core::rct::ResetPolicy;
+use mirza_dram::address::MappingScheme;
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::{Mitigator, NullMitigator};
+use mirza_dram::time::Ps;
+use mirza_dram::timing::TimingParams;
+use mirza_frontend::core::CoreParams;
+use mirza_memctrl::controller::McConfig;
+use mirza_trackers::mint_ref::MintRef;
+use mirza_trackers::mint_rfm::MintRfm;
+use mirza_trackers::mithril::Mithril;
+use mirza_trackers::para::Para;
+use mirza_trackers::prac::PracMoat;
+use mirza_trackers::trr::Trr;
+
+/// Which Rowhammer mitigation the simulated system runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MitigationConfig {
+    /// Unprotected baseline.
+    None,
+    /// Full MIRZA (Section V) with the given config and RCT reset policy.
+    Mirza {
+        /// Tracker parameters (Table VII presets).
+        cfg: MirzaConfig,
+        /// RCT reset policy (Safe in all performance experiments).
+        policy: ResetPolicy,
+    },
+    /// Naive MIRZA: MINT+ABO without filtering (Table V).
+    MirzaNaive {
+        /// MINT window (24/48/96 in Table V).
+        mint_w: u32,
+        /// MIRZA-Q entries (1/2/4/8 in Table V).
+        queue: usize,
+    },
+    /// MINT with proactive RFM every `bat` ACTs (Figure 3).
+    MintRfm {
+        /// Bank activation threshold (24/48/96 for TRHD 500/1K/2K).
+        bat: u32,
+    },
+    /// MINT mitigating under REF every `refs_per_mit` REFs (Table XII).
+    MintRef {
+        /// REFs between mitigations.
+        refs_per_mit: u64,
+    },
+    /// PRAC + ABO with MOAT policy; runs with the inflated PRAC timings.
+    PracAbo {
+        /// Target double-sided threshold (sets ATH).
+        trhd: u32,
+    },
+    /// Mithril-style counter tracker mitigating under REF.
+    Mithril {
+        /// Counter entries per bank.
+        entries: usize,
+        /// REFs between mitigations.
+        refs_per_mit: u64,
+    },
+    /// DDR4-style TRR (28 entries, 1 mitigation per 4 REF).
+    Trr,
+    /// PARA with per-ACT probability `p`.
+    Para {
+        /// Mitigation probability.
+        p: f64,
+    },
+}
+
+impl MitigationConfig {
+    /// Human-readable identifier for reports.
+    pub fn label(&self) -> String {
+        match self {
+            MitigationConfig::None => "baseline".into(),
+            MitigationConfig::Mirza { cfg, policy } => {
+                // Every distinguishing parameter appears so run caches
+                // keyed on the label never collide across configurations.
+                format!(
+                    "mirza-trhd{}-f{}-w{}-r{}-c{}-qth{}-{}{}",
+                    cfg.target_trhd,
+                    cfg.fth,
+                    cfg.mint_w,
+                    cfg.regions_per_bank,
+                    cfg.queue_capacity,
+                    cfg.qth,
+                    match cfg.mapping {
+                        mirza_dram::address::MappingScheme::Strided => "str",
+                        mirza_dram::address::MappingScheme::Sequential => "seq",
+                    },
+                    match policy {
+                        ResetPolicy::Safe => "",
+                        ResetPolicy::Eager => "-eager",
+                        ResetPolicy::Lazy => "-lazy",
+                    }
+                )
+            }
+            MitigationConfig::MirzaNaive { mint_w, queue } => {
+                format!("naive-w{mint_w}-q{queue}")
+            }
+            MitigationConfig::MintRfm { bat } => format!("mint-rfm-bat{bat}"),
+            MitigationConfig::MintRef { refs_per_mit } => {
+                format!("mint-ref-{refs_per_mit}")
+            }
+            MitigationConfig::PracAbo { trhd } => format!("prac-trhd{trhd}"),
+            MitigationConfig::Mithril {
+                entries,
+                refs_per_mit,
+            } => format!("mithril-{entries}-k{refs_per_mit}"),
+            MitigationConfig::Trr => "trr".into(),
+            MitigationConfig::Para { p } => format!("para-{p}"),
+        }
+    }
+
+    /// The DRAM timing parameter set this mitigation requires (PRAC inflates
+    /// tRP/tRAS/tRC; everything else runs baseline DDR5-6000).
+    pub fn timing(&self) -> TimingParams {
+        match self {
+            MitigationConfig::PracAbo { .. } => TimingParams::ddr5_6000_prac(),
+            _ => TimingParams::ddr5_6000(),
+        }
+    }
+
+    /// Controller policy: MINT+RFM installs the proactive BAT counter.
+    pub fn mc_config(&self) -> McConfig {
+        match self {
+            MitigationConfig::MintRfm { bat } => McConfig {
+                rfm_bat: Some(*bat),
+                ..McConfig::default()
+            },
+            _ => McConfig::default(),
+        }
+    }
+
+    /// Instantiates the in-DRAM engine for one sub-channel.
+    pub fn build(&self, geom: &Geometry, seed: u64) -> Box<dyn Mitigator> {
+        match *self {
+            MitigationConfig::None => Box::new(NullMitigator::new()),
+            MitigationConfig::Mirza { cfg, policy } => {
+                Box::new(Mirza::with_reset_policy(cfg, geom, seed, policy))
+            }
+            MitigationConfig::MirzaNaive { mint_w, queue } => {
+                Box::new(Mirza::naive(mint_w, queue, geom, seed))
+            }
+            MitigationConfig::MintRfm { .. } => Box::new(MintRfm::new(geom, seed)),
+            MitigationConfig::MintRef { refs_per_mit } => {
+                Box::new(MintRef::new(refs_per_mit, geom, seed))
+            }
+            MitigationConfig::PracAbo { trhd } => Box::new(PracMoat::for_trhd(trhd, geom)),
+            MitigationConfig::Mithril {
+                entries,
+                refs_per_mit,
+            } => Box::new(Mithril::new(entries, refs_per_mit, geom)),
+            MitigationConfig::Trr => Box::new(Trr::ddr4_like(geom)),
+            MitigationConfig::Para { p } => Box::new(Para::new(p, geom, seed)),
+        }
+    }
+}
+
+/// Full simulation configuration (Table III defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Channel geometry.
+    pub geometry: Geometry,
+    /// Installed mitigation.
+    pub mitigation: MitigationConfig,
+    /// Core count (8 in the paper, rate mode).
+    pub cores: usize,
+    /// Instructions each core retires before the run ends (250 M simpoints
+    /// in the paper; scaled down in fast mode).
+    pub instructions_per_core: u64,
+    /// Core microarchitecture.
+    pub core_params: CoreParams,
+    /// Mapping used for the ACTs-per-subarray metric histogram.
+    pub metrics_mapping: MappingScheme,
+    /// Master seed (workloads, trackers).
+    pub seed: u64,
+    /// Simulation quantum for core/MC interleaving.
+    pub quantum: Ps,
+    /// LLC sets (16-way, 64 B lines); 16384 = the paper's 16 MB.
+    pub llc_sets: usize,
+    /// Divisor applied to workload footprints (scaled-mode experiments
+    /// shrink DRAM, LLC and footprints together; see DESIGN.md).
+    pub footprint_divisor: u64,
+    /// Overrides tREFW (scaled-mode experiments shorten the refresh window
+    /// together with the bank height so the walk stays consistent).
+    pub t_refw: Option<Ps>,
+    /// RowPress weighting: convert long row-open times into activation
+    /// equivalents charged to the tracker (Section II-A).
+    pub rowpress: bool,
+}
+
+impl SimConfig {
+    /// Baseline system with the given per-core instruction budget.
+    pub fn new(mitigation: MitigationConfig, instructions_per_core: u64) -> Self {
+        SimConfig {
+            geometry: Geometry::ddr5_32gb(),
+            mitigation,
+            cores: 8,
+            instructions_per_core,
+            core_params: CoreParams::default(),
+            metrics_mapping: MappingScheme::Strided,
+            seed: 0xC0FFEE,
+            quantum: Ps::from_ns(1000),
+            llc_sets: 16 * 1024,
+            footprint_divisor: 1,
+            t_refw: None,
+            rowpress: false,
+        }
+    }
+
+    /// The effective timing parameters (mitigation overlay + tREFW override).
+    pub fn timing(&self) -> TimingParams {
+        let mut t = self.mitigation.timing();
+        if let Some(w) = self.t_refw {
+            t.t_refw = w;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prac_gets_inflated_timings() {
+        let m = MitigationConfig::PracAbo { trhd: 1000 };
+        assert_eq!(m.timing().t_rp, Ps::from_ns(36));
+        let m = MitigationConfig::None;
+        assert_eq!(m.timing().t_rp, Ps::from_ns(14));
+    }
+
+    #[test]
+    fn mint_rfm_installs_bat() {
+        let m = MitigationConfig::MintRfm { bat: 48 };
+        assert_eq!(m.mc_config().rfm_bat, Some(48));
+        assert_eq!(MitigationConfig::None.mc_config().rfm_bat, None);
+    }
+
+    #[test]
+    fn build_produces_right_engine() {
+        let g = Geometry::ddr5_32gb();
+        let cases: Vec<(MitigationConfig, &str)> = vec![
+            (MitigationConfig::None, "none"),
+            (
+                MitigationConfig::Mirza {
+                    cfg: MirzaConfig::trhd_1000(),
+                    policy: ResetPolicy::Safe,
+                },
+                "mirza",
+            ),
+            (
+                MitigationConfig::MirzaNaive { mint_w: 48, queue: 4 },
+                "mirza-naive",
+            ),
+            (MitigationConfig::MintRfm { bat: 48 }, "mint-rfm"),
+            (MitigationConfig::MintRef { refs_per_mit: 4 }, "mint-ref"),
+            (MitigationConfig::PracAbo { trhd: 1000 }, "prac-moat"),
+            (
+                MitigationConfig::Mithril {
+                    entries: 64,
+                    refs_per_mit: 1,
+                },
+                "mithril",
+            ),
+            (MitigationConfig::Trr, "trr"),
+            (MitigationConfig::Para { p: 0.01 }, "para"),
+        ];
+        for (cfg, expected) in cases {
+            assert_eq!(cfg.build(&g, 1).name(), expected, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            MitigationConfig::None,
+            MitigationConfig::MintRfm { bat: 48 },
+            MitigationConfig::PracAbo { trhd: 1000 },
+            MitigationConfig::Trr,
+        ]
+        .iter()
+        .map(MitigationConfig::label)
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

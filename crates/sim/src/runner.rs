@@ -1,0 +1,152 @@
+//! Experiment drivers: build a Table-IV workload (or a DoS scenario) and
+//! run it under a given mitigation.
+
+use mirza_frontend::trace::{AccessStream, TraceOp, VecStream};
+use mirza_memctrl::mapping::AddressMapper;
+use mirza_workloads::attacks::RowPattern;
+use mirza_workloads::spec::{MixSpec, WorkloadSpec, TABLE4_MIXES};
+use mirza_workloads::synth::SyntheticWorkload;
+
+use mirza_dram::address::{BankId, DramAddr};
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use crate::system::{CoreSetup, System};
+
+/// Builds the per-core trace streams for a named Table-IV workload
+/// (single benchmarks run in 8-core rate mode; mixes run one benchmark
+/// per core).
+///
+/// # Panics
+/// Panics if `workload` is not a Table-IV name.
+pub fn build_traces(
+    workload: &str,
+    cores: usize,
+    seed: u64,
+    footprint_divisor: u64,
+) -> Vec<Box<dyn AccessStream>> {
+    let shrink = |mut spec: WorkloadSpec| {
+        spec.pages = (spec.pages / footprint_divisor.max(1)).max(1024);
+        spec
+    };
+    if let Some(spec) = WorkloadSpec::by_name(workload) {
+        return (0..cores)
+            .map(|i| {
+                Box::new(SyntheticWorkload::new(
+                    shrink(*spec),
+                    seed.wrapping_add(i as u64 * 101),
+                )) as Box<dyn AccessStream>
+            })
+            .collect();
+    }
+    let mix: &MixSpec = TABLE4_MIXES
+        .iter()
+        .find(|m| m.name == workload)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    (0..cores)
+        .map(|i| {
+            let name = mix.cores[i % mix.cores.len()];
+            let spec = WorkloadSpec::by_name(name).expect("mix entries validated");
+            Box::new(SyntheticWorkload::new(
+                shrink(*spec),
+                seed.wrapping_add(i as u64 * 101),
+            )) as Box<dyn AccessStream>
+        })
+        .collect()
+}
+
+/// Runs one Table-IV workload under `cfg` and returns the report.
+pub fn run_workload(cfg: &SimConfig, workload: &str) -> SimReport {
+    let setups = build_traces(workload, cfg.cores, cfg.seed, cfg.footprint_divisor)
+        .into_iter()
+        .map(|t| CoreSetup::benign(t, cfg.instructions_per_core))
+        .collect();
+    System::new(cfg.clone(), workload, setups).run()
+}
+
+/// Converts a row-level attack pattern on `bank` into an uncached,
+/// physically-addressed trace stream (column rotates so consecutive ACTs
+/// to the same row stay distinct lines).
+pub fn attack_stream(cfg: &SimConfig, bank: BankId, pattern: &RowPattern) -> Box<dyn AccessStream> {
+    let mapper = AddressMapper::mop4(cfg.geometry);
+    let ops = pattern
+        .rows()
+        .iter()
+        .map(|&row| TraceOp {
+            nonmem: 0,
+            vaddr: mapper.encode(&DramAddr { bank, row, col: 0 }),
+            is_store: false,
+        })
+        .collect();
+    Box::new(VecStream::looping(ops))
+}
+
+/// Runs `workload` on `cfg.cores - 1` benign cores with one attacker core
+/// replaying `pattern` against `bank` (the Section IX performance attack).
+pub fn run_with_attacker(
+    cfg: &SimConfig,
+    workload: &str,
+    bank: BankId,
+    pattern: &RowPattern,
+) -> SimReport {
+    assert!(cfg.cores >= 2, "need a benign core and an attacker");
+    let mut setups: Vec<CoreSetup> =
+        build_traces(workload, cfg.cores - 1, cfg.seed, cfg.footprint_divisor)
+            .into_iter()
+        .map(|t| CoreSetup::benign(t, cfg.instructions_per_core))
+        .collect();
+    setups.push(CoreSetup::attacker(attack_stream(cfg, bank, pattern)));
+    System::new(cfg.clone(), &format!("{workload}+attack"), setups).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MitigationConfig;
+
+    #[test]
+    fn single_workload_runs_rate_mode() {
+        let mut cfg = SimConfig::new(MitigationConfig::None, 5_000);
+        cfg.cores = 2;
+        let r = run_workload(&cfg, "lbm");
+        assert_eq!(r.core_ipc.len(), 2);
+        assert!(r.device.acts > 0);
+        assert!(r.mpki() > 1.0, "lbm is memory intensive, mpki={}", r.mpki());
+    }
+
+    #[test]
+    fn mix_assigns_different_benchmarks() {
+        let mut cfg = SimConfig::new(MitigationConfig::None, 3_000);
+        cfg.cores = 2;
+        let r = run_workload(&cfg, "mix_1");
+        assert_eq!(r.core_ipc.len(), 2);
+        assert!(r.instructions >= 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let cfg = SimConfig::new(MitigationConfig::None, 1_000);
+        let _ = run_workload(&cfg, "doom");
+    }
+
+    #[test]
+    fn attacker_hammers_the_target_bank() {
+        let mut cfg = SimConfig::new(MitigationConfig::None, 50_000);
+        cfg.cores = 2;
+        let bank = BankId::new(0, 0, 0);
+        let pattern = RowPattern::circular(vec![100 * 128, 101 * 128, 102 * 128]);
+        let r = run_with_attacker(&cfg, "lbm", bank, &pattern);
+        assert_eq!(r.core_ipc.len(), 1, "attacker excluded from report");
+        // The attacker's conflict loop adds ACT traffic well beyond lbm's own.
+        let mut solo_cfg = cfg.clone();
+        solo_cfg.cores = 1;
+        let solo = run_workload(&solo_cfg, "lbm");
+        assert!(
+            r.device.acts > solo.device.acts,
+            "attack acts {} <= solo acts {}",
+            r.device.acts,
+            solo.device.acts
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! MINT with proactive RFM mitigation (the paper's main proactive baseline,
+//! Figure 3). The MC issues an RFM every *Bank Activation Threshold* ACTs;
+//! at each RFM every bank mitigates one uniformly sampled aggressor from
+//! the window just ended.
+
+use mirza_dram::address::{MappingScheme, RowMapping};
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::{MitigationLog, MitigationStats, Mitigator, RefreshSlice};
+use mirza_dram::time::Ps;
+
+use crate::reservoir::Reservoir;
+
+/// MINT sampling + proactive RFM consumption, per sub-channel.
+#[derive(Debug)]
+pub struct MintRfm {
+    mapping: RowMapping,
+    reservoirs: Vec<Reservoir>,
+    stats: MitigationStats,
+    log: MitigationLog,
+}
+
+impl MintRfm {
+    /// Creates the tracker. The mitigation *rate* is set on the MC side
+    /// (RFM every BAT activations); this side only samples and mitigates.
+    pub fn new(geom: &Geometry, seed: u64) -> Self {
+        let banks = geom.banks_per_subchannel() as usize;
+        MintRfm {
+            mapping: RowMapping::for_geometry(MappingScheme::Sequential, geom),
+            reservoirs: (0..banks)
+                .map(|b| Reservoir::new(seed.wrapping_add(b as u64)))
+                .collect(),
+            stats: MitigationStats::default(),
+            log: MitigationLog::new(),
+        }
+    }
+
+    /// The window the paper's MINT configuration uses for a target TRHD
+    /// (Section II-F: RFM every 24/48/96 ACTs for TRHD 500/1K/2K).
+    pub fn bat_for_trhd(trhd: u32) -> u32 {
+        match trhd {
+            0..=500 => 24,
+            501..=1000 => 48,
+            _ => 96,
+        }
+    }
+}
+
+impl Mitigator for MintRfm {
+    fn name(&self) -> &'static str {
+        "mint-rfm"
+    }
+
+    fn on_activate(&mut self, bank: usize, row: u32, _now: Ps) {
+        self.stats.acts_observed += 1;
+        self.stats.acts_candidate += 1;
+        self.reservoirs[bank].observe(row);
+    }
+
+    fn on_ref(&mut self, _slice: &RefreshSlice, _now: Ps) {}
+
+    fn on_rfm(&mut self, _alert: bool, _now: Ps) {
+        for bank in 0..self.reservoirs.len() {
+            if let Some(row) = self.reservoirs[bank].take() {
+                self.stats.mitigations += 1;
+                self.stats.victim_rows_refreshed +=
+                    self.mapping.neighbors(row, 2).len() as u64;
+                self.log.push(bank, row);
+            }
+        }
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn mapping(&self) -> Option<&RowMapping> {
+        Some(&self.mapping)
+    }
+
+    fn drain_mitigations(&mut self) -> Vec<(usize, u32)> {
+        self.log.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry {
+            subchannels: 1,
+            ranks: 1,
+            banks: 2,
+            rows_per_bank: 4096,
+            row_bytes: 4096,
+            line_bytes: 64,
+            subarrays_per_bank: 4,
+            rows_per_ref: 16,
+        }
+    }
+
+    #[test]
+    fn mitigates_one_per_bank_per_rfm() {
+        let mut m = MintRfm::new(&geom(), 1);
+        for i in 0..48u32 {
+            m.on_activate(0, i, Ps::ZERO);
+            m.on_activate(1, i + 100, Ps::ZERO);
+        }
+        m.on_rfm(false, Ps::ZERO);
+        let s = m.stats();
+        assert_eq!(s.mitigations, 2);
+        assert_eq!(s.victim_rows_refreshed, 8);
+        // Window restarts: an immediate second RFM has nothing sampled.
+        m.on_rfm(false, Ps::ZERO);
+        assert_eq!(m.stats().mitigations, 2);
+    }
+
+    #[test]
+    fn idle_banks_skip_mitigation() {
+        let mut m = MintRfm::new(&geom(), 2);
+        m.on_activate(0, 5, Ps::ZERO);
+        m.on_rfm(false, Ps::ZERO);
+        assert_eq!(m.stats().mitigations, 1, "only the active bank mitigates");
+    }
+
+    #[test]
+    fn never_alerts() {
+        let mut m = MintRfm::new(&geom(), 3);
+        for i in 0..10_000u32 {
+            m.on_activate(0, i % 8, Ps::ZERO);
+        }
+        assert!(!m.alert_pending());
+    }
+
+    #[test]
+    fn paper_bat_values() {
+        assert_eq!(MintRfm::bat_for_trhd(500), 24);
+        assert_eq!(MintRfm::bat_for_trhd(1000), 48);
+        assert_eq!(MintRfm::bat_for_trhd(2000), 96);
+    }
+}

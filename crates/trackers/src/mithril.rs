@@ -1,0 +1,154 @@
+//! Mithril-style counter-based tracker (Kim et al., HPCA 2022): a large
+//! Space-Saving counter table per bank, mitigating the hottest tracked row
+//! at every `k`-th REF (Table II's high-storage baseline).
+
+use mirza_dram::address::{MappingScheme, RowMapping};
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::{MitigationLog, MitigationStats, Mitigator, RefreshSlice};
+use mirza_dram::time::Ps;
+
+use crate::summary::SpaceSaving;
+
+/// Counter-based proactive tracker with `entries` counters per bank.
+#[derive(Debug)]
+pub struct Mithril {
+    entries_per_bank: usize,
+    refs_per_mitigation: u64,
+    mapping: RowMapping,
+    tables: Vec<SpaceSaving>,
+    refs_seen: u64,
+    stats: MitigationStats,
+    log: MitigationLog,
+}
+
+impl Mithril {
+    /// Creates the tracker with `entries_per_bank` counters, mitigating at
+    /// every `refs_per_mitigation`-th REF.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn new(
+        entries_per_bank: usize,
+        refs_per_mitigation: u64,
+        geom: &Geometry,
+    ) -> Self {
+        assert!(refs_per_mitigation > 0, "mitigation rate must be non-zero");
+        let banks = geom.banks_per_subchannel() as usize;
+        Mithril {
+            entries_per_bank,
+            refs_per_mitigation,
+            mapping: RowMapping::for_geometry(MappingScheme::Sequential, geom),
+            tables: (0..banks).map(|_| SpaceSaving::new(entries_per_bank)).collect(),
+            refs_seen: 0,
+            stats: MitigationStats::default(),
+            log: MitigationLog::new(),
+        }
+    }
+
+    /// SRAM bytes per bank: 28 bits per entry (row-id + counter), as in the
+    /// paper's Section VIII-A sizing (2K entries -> 7 KB).
+    pub fn sram_bytes_per_bank(&self) -> u32 {
+        (self.entries_per_bank as u32 * 28).div_ceil(8)
+    }
+
+    /// Read access to a bank's counter table.
+    pub fn table(&self, bank: usize) -> &SpaceSaving {
+        &self.tables[bank]
+    }
+}
+
+impl Mitigator for Mithril {
+    fn name(&self) -> &'static str {
+        "mithril"
+    }
+
+    fn on_activate(&mut self, bank: usize, row: u32, _now: Ps) {
+        self.stats.acts_observed += 1;
+        self.stats.acts_candidate += 1;
+        self.tables[bank].observe(row);
+    }
+
+    fn on_ref(&mut self, _slice: &RefreshSlice, _now: Ps) {
+        self.refs_seen += 1;
+        if !self.refs_seen.is_multiple_of(self.refs_per_mitigation) {
+            return;
+        }
+        for bank in 0..self.tables.len() {
+            if let Some(top) = self.tables[bank].pop_max() {
+                self.stats.mitigations += 1;
+                self.stats.ref_mitigations += 1;
+                self.stats.victim_rows_refreshed +=
+                    self.mapping.neighbors(top.row, 2).len() as u64;
+                self.log.push(bank, top.row);
+            }
+        }
+    }
+
+    fn on_rfm(&mut self, _alert: bool, _now: Ps) {}
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn mapping(&self) -> Option<&RowMapping> {
+        Some(&self.mapping)
+    }
+
+    fn drain_mitigations(&mut self) -> Vec<(usize, u32)> {
+        self.log.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry {
+            subchannels: 1,
+            ranks: 1,
+            banks: 1,
+            rows_per_bank: 4096,
+            row_bytes: 4096,
+            line_bytes: 64,
+            subarrays_per_bank: 4,
+            rows_per_ref: 16,
+        }
+    }
+
+    #[test]
+    fn mitigates_hottest_row() {
+        let mut m = Mithril::new(8, 1, &geom());
+        for _ in 0..50 {
+            m.on_activate(0, 100, Ps::ZERO);
+        }
+        m.on_activate(0, 200, Ps::ZERO);
+        m.on_ref(
+            &RefreshSlice {
+                index: 0,
+                phys_rows: 0..16,
+            },
+            Ps::ZERO,
+        );
+        assert_eq!(m.stats().mitigations, 1);
+        // The hot row was removed from the table.
+        assert_eq!(m.table(0).count(100), 0);
+        assert_eq!(m.table(0).count(200), 1);
+    }
+
+    #[test]
+    fn sram_sizing_matches_paper() {
+        // 2K entries * 28 bits = 7 KB per bank (Section VIII-A).
+        let m = Mithril::new(2048, 1, &geom());
+        assert_eq!(m.sram_bytes_per_bank(), 7168);
+    }
+
+    #[test]
+    fn never_alerts() {
+        let mut m = Mithril::new(4, 1, &geom());
+        for i in 0..1000u32 {
+            m.on_activate(0, i % 3, Ps::ZERO);
+        }
+        assert!(!m.alert_pending());
+    }
+}

@@ -1,0 +1,126 @@
+//! PARA: probabilistic adjacent-row activation (Kim et al., ISCA 2014).
+//! Stateless: on every ACT, with probability `p`, the neighbors of the
+//! activated row are refreshed immediately. Included as a classic
+//! stateless baseline for the extension studies (it trades SRAM for a
+//! large energy overhead at low thresholds).
+
+use mirza_dram::address::{MappingScheme, RowMapping};
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::{MitigationLog, MitigationStats, Mitigator, RefreshSlice};
+use mirza_dram::time::Ps;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stateless probabilistic mitigation.
+#[derive(Debug)]
+pub struct Para {
+    p: f64,
+    mapping: RowMapping,
+    rng: SmallRng,
+    stats: MitigationStats,
+    log: MitigationLog,
+}
+
+impl Para {
+    /// Creates PARA with per-ACT mitigation probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < p <= 1.0`.
+    pub fn new(p: f64, geom: &Geometry, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+        Para {
+            p,
+            mapping: RowMapping::for_geometry(MappingScheme::Sequential, geom),
+            rng: SmallRng::seed_from_u64(seed),
+            stats: MitigationStats::default(),
+            log: MitigationLog::new(),
+        }
+    }
+
+    /// Probability for a target threshold: the standard sizing
+    /// `p = 23 / TRH` keeps the failure probability below ~1e-10 per row
+    /// per refresh window (ln(1e-10) ~ -23).
+    pub fn for_trh(trh: u32, geom: &Geometry, seed: u64) -> Self {
+        Self::new((23.0 / f64::from(trh)).min(1.0), geom, seed)
+    }
+
+    /// The configured mitigation probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Mitigator for Para {
+    fn name(&self) -> &'static str {
+        "para"
+    }
+
+    fn on_activate(&mut self, _bank: usize, row: u32, _now: Ps) {
+        self.stats.acts_observed += 1;
+        self.stats.acts_candidate += 1;
+        if self.rng.gen_bool(self.p) {
+            self.stats.mitigations += 1;
+            self.stats.victim_rows_refreshed += self.mapping.neighbors(row, 2).len() as u64;
+            self.log.push(_bank, row);
+        }
+    }
+
+    fn on_ref(&mut self, _slice: &RefreshSlice, _now: Ps) {}
+
+    fn on_rfm(&mut self, _alert: bool, _now: Ps) {}
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn mapping(&self) -> Option<&RowMapping> {
+        Some(&self.mapping)
+    }
+
+    fn drain_mitigations(&mut self) -> Vec<(usize, u32)> {
+        self.log.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry {
+            subchannels: 1,
+            ranks: 1,
+            banks: 1,
+            rows_per_bank: 4096,
+            row_bytes: 4096,
+            line_bytes: 64,
+            subarrays_per_bank: 4,
+            rows_per_ref: 16,
+        }
+    }
+
+    #[test]
+    fn mitigation_rate_tracks_probability() {
+        let mut p = Para::new(0.1, &geom(), 7);
+        for i in 0..100_000u32 {
+            p.on_activate(0, i % 1000, Ps::ZERO);
+        }
+        let rate = p.stats().mitigation_rate();
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn sizing_formula() {
+        let p = Para::for_trh(1000, &geom(), 0);
+        assert!((p.probability() - 0.023).abs() < 1e-12);
+        let p = Para::for_trh(10, &geom(), 0);
+        assert_eq!(p.probability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_zero_probability() {
+        let _ = Para::new(0.0, &geom(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Uniform reservoir sampling over a variable-length activation window.
+//!
+//! Proactive randomized trackers (MINT used with RFM or REF mitigation)
+//! must pick one activation uniformly from however many ACTs arrive between
+//! two mitigation opportunities. Reservoir sampling gives exact uniformity
+//! for any window length with O(1) state — the in-DRAM equivalent of MINT's
+//! pre-picked index when the window size is not known in advance.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Single-entry uniform reservoir.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    selected: Option<u32>,
+    seen: u64,
+    rng: SmallRng,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        Reservoir {
+            selected: None,
+            seen: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Observes one activation of `row`.
+    pub fn observe(&mut self, row: u32) {
+        self.seen += 1;
+        if self.rng.gen_range(0..self.seen) == 0 {
+            self.selected = Some(row);
+        }
+    }
+
+    /// Activations observed since the last [`take`](Self::take).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current selection without resetting.
+    pub fn peek(&self) -> Option<u32> {
+        self.selected
+    }
+
+    /// Takes the selection and starts a fresh window.
+    pub fn take(&mut self) -> Option<u32> {
+        self.seen = 0;
+        self.selected.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_reservoir_yields_none() {
+        let mut r = Reservoir::new(0);
+        assert_eq!(r.take(), None);
+        assert_eq!(r.peek(), None);
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn take_resets_window() {
+        let mut r = Reservoir::new(1);
+        r.observe(5);
+        assert_eq!(r.seen(), 1);
+        assert_eq!(r.take(), Some(5));
+        assert_eq!(r.seen(), 0);
+        assert_eq!(r.take(), None);
+    }
+
+    #[test]
+    fn single_observation_always_selected() {
+        for seed in 0..20 {
+            let mut r = Reservoir::new(seed);
+            r.observe(7);
+            assert_eq!(r.take(), Some(7));
+        }
+    }
+
+    #[test]
+    fn selection_is_uniform() {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut r = Reservoir::new(99);
+        let w = 8u32;
+        let trials = 40_000;
+        for _ in 0..trials {
+            for row in 0..w {
+                r.observe(row);
+            }
+            *counts.entry(r.take().unwrap()).or_default() += 1;
+        }
+        let expect = trials as f64 / w as f64;
+        for row in 0..w {
+            let c = f64::from(*counts.get(&row).unwrap_or(&0));
+            assert!(
+                (c - expect).abs() < expect * 0.1,
+                "row {row}: {c} vs ~{expect}"
+            );
+        }
+    }
+}

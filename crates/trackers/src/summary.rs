@@ -1,0 +1,163 @@
+//! Space-Saving frequent-item summary: the counter-table core shared by
+//! Mithril-style and TRR-style trackers.
+//!
+//! Maintains at most `k` (row, count) pairs. A hit increments the row's
+//! count; a miss on a full table evicts the minimum-count entry and adopts
+//! its count plus one (the classic Space-Saving over-estimate, which is what
+//! gives Misra-Gries-style trackers their security bound).
+
+/// One tracked row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryEntry {
+    /// Tracked row address.
+    pub row: u32,
+    /// Estimated activation count (never an under-estimate).
+    pub count: u32,
+}
+
+/// Bounded counter table.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    k: usize,
+    entries: Vec<SummaryEntry>,
+}
+
+impl SpaceSaving {
+    /// Creates an empty table of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "summary capacity must be non-zero");
+        SpaceSaving {
+            k,
+            entries: Vec::with_capacity(k),
+        }
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Entries currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Estimated count for `row`, zero if untracked.
+    pub fn count(&self, row: u32) -> u32 {
+        self.entries
+            .iter()
+            .find(|e| e.row == row)
+            .map_or(0, |e| e.count)
+    }
+
+    /// Iterates over tracked entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &SummaryEntry> {
+        self.entries.iter()
+    }
+
+    /// Records one activation of `row`.
+    pub fn observe(&mut self, row: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.row == row) {
+            e.count += 1;
+            return;
+        }
+        if self.entries.len() < self.k {
+            self.entries.push(SummaryEntry { row, count: 1 });
+            return;
+        }
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| e.count)
+            .expect("table is full, hence non-empty");
+        min.row = row;
+        min.count += 1;
+    }
+
+    /// Removes and returns the maximum-count entry (the mitigation target).
+    pub fn pop_max(&mut self) -> Option<SummaryEntry> {
+        let (i, _) = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.count)?;
+        Some(self.entries.swap_remove(i))
+    }
+
+    /// The maximum count currently tracked (zero when empty).
+    pub fn max_count(&self) -> u32 {
+        self.entries.iter().map(|e| e.count).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_increment() {
+        let mut s = SpaceSaving::new(2);
+        s.observe(1);
+        s.observe(1);
+        s.observe(1);
+        assert_eq!(s.count(1), 3);
+        assert_eq!(s.count(2), 0);
+    }
+
+    #[test]
+    fn eviction_adopts_min_plus_one() {
+        let mut s = SpaceSaving::new(2);
+        s.observe(1); // {1:1}
+        s.observe(2); // {1:1, 2:1}
+        s.observe(2); // {1:1, 2:2}
+        s.observe(3); // evicts 1 -> {3:2, 2:2}
+        assert_eq!(s.count(1), 0);
+        assert_eq!(s.count(3), 2, "over-estimate preserved");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn count_never_underestimates_true_frequency() {
+        // Space-Saving invariant: tracked count >= true count.
+        let mut s = SpaceSaving::new(4);
+        let stream: Vec<u32> = (0..1000).map(|i| i % 7).collect();
+        let mut truth = [0u32; 7];
+        for &r in &stream {
+            s.observe(r);
+            truth[r as usize] += 1;
+            let est = s.count(r);
+            if est > 0 {
+                assert!(est >= truth[r as usize] / 2, "gross underestimate");
+            }
+        }
+    }
+
+    #[test]
+    fn pop_max_returns_hottest() {
+        let mut s = SpaceSaving::new(4);
+        for _ in 0..5 {
+            s.observe(10);
+        }
+        s.observe(20);
+        let top = s.pop_max().unwrap();
+        assert_eq!(top.row, 10);
+        assert_eq!(top.count, 5);
+        assert_eq!(s.max_count(), 1);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut s = SpaceSaving::new(1);
+        assert!(s.is_empty());
+        assert_eq!(s.pop_max(), None);
+        assert_eq!(s.max_count(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Rowhammer attack kernels (Sections II-A, IX; Figures 10 and 12).
+//!
+//! Attack patterns are expressed at the row-activation level: an infinite
+//! circular sequence of row addresses for one bank. The security harness
+//! (`mirza-security`) replays them against a mitigator; the DoS study wraps
+//! them into uncached trace streams for the full-system simulator.
+
+use mirza_dram::address::{RegionMap, RowMapping};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An infinite circular activation pattern over one bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPattern {
+    rows: Vec<u32>,
+    idx: usize,
+}
+
+impl RowPattern {
+    /// A circular pattern over explicit rows (the MINT worst case).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty.
+    pub fn circular(rows: Vec<u32>) -> Self {
+        assert!(!rows.is_empty(), "pattern needs at least one row");
+        RowPattern { rows, idx: 0 }
+    }
+
+    /// Classic single-sided hammering of one row.
+    pub fn single_sided(row: u32) -> Self {
+        Self::circular(vec![row])
+    }
+
+    /// Double-sided attack on the victim at physical index `victim_phys`:
+    /// alternate the two physically adjacent aggressor rows.
+    ///
+    /// # Panics
+    /// Panics if the victim sits at a subarray edge (no two-sided neighbors).
+    pub fn double_sided(mapping: &RowMapping, victim_phys: u32) -> Self {
+        let victim_row = mapping.row_of(victim_phys);
+        let aggrs = mapping.neighbors(victim_row, 1);
+        assert_eq!(
+            aggrs.len(),
+            2,
+            "victim at subarray edge has no double-sided aggressors"
+        );
+        Self::circular(aggrs)
+    }
+
+    /// Many-sided (TRRespass/Blacksmith-style) pattern: `pairs` double-sided
+    /// pairs spaced out in the same subarray, designed to thrash small
+    /// tracker tables.
+    ///
+    /// # Panics
+    /// Panics if the subarray cannot fit the requested pairs.
+    pub fn many_sided(mapping: &RowMapping, subarray: u32, pairs: u32) -> Self {
+        let rps = mapping.rows_per_subarray();
+        assert!(pairs * 4 < rps, "too many pairs for one subarray");
+        let base = subarray * rps;
+        let mut rows = Vec::with_capacity(2 * pairs as usize);
+        for i in 0..pairs {
+            let victim = base + 4 * i + 1;
+            rows.push(mapping.row_of(victim - 1));
+            rows.push(mapping.row_of(victim + 1));
+        }
+        Self::circular(rows)
+    }
+
+    /// Half-Double style pattern: hammer the distance-2 rows heavily and
+    /// sprinkle ACTs on the distance-1 rows so their occasional victim
+    /// refreshes "assist" the far aggressors.
+    ///
+    /// # Panics
+    /// Panics if the victim has no distance-2 neighbors on both sides.
+    pub fn half_double(mapping: &RowMapping, victim_phys: u32) -> Self {
+        let victim_row = mapping.row_of(victim_phys);
+        let near = mapping.neighbors(victim_row, 1);
+        let all = mapping.neighbors(victim_row, 2);
+        let far: Vec<u32> = all.iter().copied().filter(|r| !near.contains(r)).collect();
+        assert_eq!(far.len(), 2, "victim needs distance-2 rows on both sides");
+        assert_eq!(near.len(), 2, "victim needs distance-1 rows on both sides");
+        // 8 far ACTs per near ACT, interleaved.
+        let mut rows = Vec::with_capacity(18);
+        for &near_row in &near {
+            for _ in 0..4 {
+                rows.push(far[0]);
+                rows.push(far[1]);
+            }
+            rows.push(near_row);
+        }
+        Self::circular(rows)
+    }
+
+    /// Blacksmith-style non-uniform pattern: `k` rows of one subarray in a
+    /// randomized phase order with repetition counts drawn per row, making
+    /// the per-row cadence irregular (what breaks sampling-based TRR).
+    ///
+    /// # Panics
+    /// Panics if the subarray cannot host `k` rows.
+    pub fn blacksmith(mapping: &RowMapping, subarray: u32, k: u32, seed: u64) -> Self {
+        let rps = mapping.rows_per_subarray();
+        assert!(k > 0 && k <= rps / 2, "need 1..={} rows", rps / 2);
+        let base = subarray * rps;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut phase = Vec::new();
+        for i in 0..k {
+            let row = mapping.row_of(base + 2 * i + 1);
+            // Irregular intensity: 1..=4 ACTs of this row per phase.
+            let reps = 1 + (i % 4);
+            for _ in 0..reps {
+                phase.push(row);
+            }
+        }
+        phase.shuffle(&mut rng);
+        Self::circular(phase)
+    }
+
+    /// `k` distinct rows of one RCT region (the CGF-evading performance
+    /// attack of Figure 12, and the priming kernel of Section IX-B).
+    ///
+    /// # Panics
+    /// Panics if the region holds fewer than `k` rows.
+    pub fn same_region(mapping: &RowMapping, regions: &RegionMap, region: u32, k: u32) -> Self {
+        assert!(
+            k <= regions.rows_per_region(),
+            "region holds only {} rows",
+            regions.rows_per_region()
+        );
+        let rows = regions
+            .phys_range(region)
+            .take(k as usize)
+            .map(|p| mapping.row_of(p))
+            .collect();
+        Self::circular(rows)
+    }
+
+    /// The distinct rows of the pattern.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Produces the next activation.
+    pub fn next_act(&mut self) -> u32 {
+        let r = self.rows[self.idx];
+        self.idx = (self.idx + 1) % self.rows.len();
+        r
+    }
+
+    /// Takes `n` activations as a vector (testing convenience).
+    pub fn take_acts(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.next_act()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirza_dram::address::MappingScheme;
+
+    fn strided() -> RowMapping {
+        RowMapping::new(MappingScheme::Strided, 128 * 1024, 128)
+    }
+
+    #[test]
+    fn circular_wraps() {
+        let mut p = RowPattern::circular(vec![1, 2, 3]);
+        assert_eq!(p.take_acts(7), vec![1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn double_sided_straddles_the_victim() {
+        let m = strided();
+        // Victim at physical index 500 (subarray 0, offset 500):
+        // aggressors are physical 499/501 = row addresses 499*128 / 501*128.
+        let p = RowPattern::double_sided(&m, 500);
+        let mut rows = p.rows().to_vec();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![499 * 128, 501 * 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "subarray edge")]
+    fn double_sided_rejects_edge_victims() {
+        let m = strided();
+        let _ = RowPattern::double_sided(&m, 0);
+    }
+
+    #[test]
+    fn many_sided_has_2n_distinct_rows() {
+        let m = strided();
+        let p = RowPattern::many_sided(&m, 3, 10);
+        assert_eq!(p.rows().len(), 20);
+        let mut uniq = p.rows().to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 20);
+        // All rows are inside subarray 3.
+        for &r in p.rows() {
+            assert_eq!(m.subarray_of_row(r), 3);
+        }
+    }
+
+    #[test]
+    fn same_region_rows_share_the_rct_counter() {
+        let m = strided();
+        let regions = RegionMap::new(128 * 1024, 128);
+        let p = RowPattern::same_region(&m, &regions, 5, 32);
+        assert_eq!(p.rows().len(), 32);
+        for &r in p.rows() {
+            assert_eq!(regions.region_of_phys(m.phys_of(r)), 5);
+        }
+    }
+
+    #[test]
+    fn half_double_mixes_far_and_near() {
+        let m = strided();
+        let p = RowPattern::half_double(&m, 5_000);
+        let far_a = m.row_of(4998);
+        let near_a = m.row_of(4999);
+        let rows = p.rows();
+        let far_count = rows.iter().filter(|&&r| r == far_a).count();
+        let near_count = rows.iter().filter(|&&r| r == near_a).count();
+        assert!(far_count >= 4 * near_count.max(1), "{far_count} vs {near_count}");
+    }
+
+    #[test]
+    fn blacksmith_is_irregular_but_bounded() {
+        let m = strided();
+        let p = RowPattern::blacksmith(&m, 2, 16, 9);
+        // All rows stay in subarray 2.
+        for &r in p.rows() {
+            assert_eq!(m.subarray_of_row(r), 2);
+        }
+        // Repetition counts differ across rows (non-uniform cadence).
+        let mut counts = std::collections::HashMap::new();
+        for &r in p.rows() {
+            *counts.entry(r).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().unwrap();
+        let min = counts.values().min().unwrap();
+        assert!(max > min, "pattern should be non-uniform");
+        // Deterministic per seed.
+        assert_eq!(p.rows(), RowPattern::blacksmith(&m, 2, 16, 9).rows());
+        assert_ne!(p.rows(), RowPattern::blacksmith(&m, 2, 16, 10).rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "region holds only")]
+    fn same_region_rejects_oversized_k() {
+        let m = strided();
+        let regions = RegionMap::new(128 * 1024, 128);
+        let _ = RowPattern::same_region(&m, &regions, 0, 2000);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mirza-workloads — workload and attack substrate
+//!
+//! The paper's evaluation inputs, rebuilt synthetically:
+//!
+//! * [`spec`] — the 24 Table-IV workloads (12 SPEC-2017, 6 GAP, 6 mixes) as
+//!   statistical profiles calibrated to the published MPKI / ACT-PKI /
+//!   footprint characteristics (see DESIGN.md §3 for the substitution
+//!   rationale),
+//! * [`synth`] — the trace generator realizing a profile as an
+//!   [`AccessStream`](mirza_frontend::trace::AccessStream), and
+//! * [`attacks`] — Rowhammer attack kernels (single/double/many-sided,
+//!   circular, same-region CGF evasion) at the row-activation level, and
+//! * [`tracefile`] — plain-text trace I/O for replaying real program
+//!   traces instead of the synthetic generators.
+
+pub mod attacks;
+pub mod spec;
+pub mod synth;
+pub mod tracefile;
+
+/// Convenient re-exports.
+pub mod prelude {
+    pub use crate::attacks::RowPattern;
+    pub use crate::spec::{MixSpec, WorkloadSpec, TABLE4_MIXES, TABLE4_WORKLOADS};
+    pub use crate::synth::{SyntheticWorkload, Zipf};
+}

@@ -1,0 +1,179 @@
+//! Workload specifications calibrated to Table IV.
+//!
+//! The paper evaluates 12 SPEC-2017 benchmarks (L3 MPKI >= 1), the six GAP
+//! kernels, and six mixes. Without the proprietary SimPoint traces, each
+//! benchmark is modeled as a statistical stream whose knobs are set from the
+//! published characteristics:
+//!
+//! * `apki` — LLC accesses per kilo-instruction. Working sets far exceed
+//!   the 16 MB LLC, so essentially every generated access misses and
+//!   `apki` calibrates the published *L3 MPKI*.
+//! * `run_lines` — consecutive lines per spatial run; with MOP4 mapping a
+//!   run of 4 lines costs one ACT, so this knob sets the published
+//!   ACT-PKI / MPKI ratio.
+//! * `store_frac` — fraction of stores; dirty evictions add write-back
+//!   ACTs (how `lbm`/`xz` exceed ACT-PKI ≈ MPKI).
+//! * `pages`, `zipf_s` — footprint and page-popularity skew, which shape
+//!   the ACTs-per-subarray spread (Table IV's μ ± σ, Figure 6).
+
+/// Statistical description of one benchmark's memory behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as it appears in Table IV.
+    pub name: &'static str,
+    /// LLC accesses per kilo-instruction.
+    pub apki: f64,
+    /// Consecutive cache lines per spatial run.
+    pub run_lines: u32,
+    /// Fraction of accesses that are stores.
+    pub store_frac: f64,
+    /// Working-set size in 4 KB pages.
+    pub pages: u64,
+    /// Zipf skew of page popularity (0 = uniform).
+    pub zipf_s: f64,
+}
+
+impl WorkloadSpec {
+    /// Looks a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
+        TABLE4_WORKLOADS.iter().find(|w| w.name == name)
+    }
+}
+
+macro_rules! spec {
+    ($name:literal, $apki:expr, $run:expr, $store:expr, $pages:expr, $zipf:expr) => {
+        WorkloadSpec {
+            name: $name,
+            apki: $apki,
+            run_lines: $run,
+            store_frac: $store,
+            pages: $pages,
+            zipf_s: $zipf,
+        }
+    };
+}
+
+/// The 18 single-program workloads of Table IV (GAP first, then SPEC-2017),
+/// calibrated as described in the module docs.
+pub static TABLE4_WORKLOADS: &[WorkloadSpec] = &[
+    // GAP kernels: large graph footprints, mostly-read pointer chasing.
+    spec!("bc", 58.8, 2, 0.10, 131_072, 0.55),
+    spec!("bfs", 30.9, 2, 0.10, 131_072, 0.70),
+    spec!("cc", 57.9, 1, 0.15, 196_608, 0.75),
+    spec!("pr", 57.7, 2, 0.10, 131_072, 0.55),
+    spec!("sssp", 27.2, 2, 0.10, 98_304, 0.50),
+    spec!("tc", 87.8, 2, 0.05, 131_072, 0.40),
+    // SPEC-2017 (MPKI >= 1).
+    spec!("blender", 1.1, 2, 0.20, 32_768, 0.60),
+    spec!("bwaves", 41.6, 3, 0.10, 131_072, 0.55),
+    spec!("cactuBSSN", 3.5, 1, 0.20, 65_536, 0.80),
+    spec!("cam4", 3.7, 2, 0.25, 49_152, 0.85),
+    spec!("fotonik3d", 26.6, 1, 0.30, 65_536, 0.45),
+    spec!("lbm", 27.7, 1, 0.50, 98_304, 0.40),
+    spec!("mcf", 19.0, 2, 0.15, 131_072, 0.75),
+    spec!("omnetpp", 9.2, 1, 0.25, 98_304, 0.75),
+    spec!("parest", 26.5, 2, 0.10, 98_304, 0.70),
+    spec!("roms", 7.8, 2, 0.15, 65_536, 0.80),
+    spec!("xalancbmk", 1.6, 1, 0.40, 32_768, 0.85),
+    spec!("xz", 5.2, 1, 0.50, 65_536, 0.85),
+];
+
+/// A rate-mode mix: which benchmark each of the 8 cores runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Mix name as in Table IV.
+    pub name: &'static str,
+    /// Benchmark per core.
+    pub cores: [&'static str; 8],
+}
+
+/// The six mixed workloads of Table IV.
+pub static TABLE4_MIXES: &[MixSpec] = &[
+    MixSpec {
+        name: "mix_1",
+        cores: ["mcf", "lbm", "bc", "omnetpp", "fotonik3d", "xz", "cc", "parest"],
+    },
+    MixSpec {
+        name: "mix_2",
+        cores: ["bwaves", "mcf", "cc", "roms", "lbm", "parest", "bfs", "omnetpp"],
+    },
+    MixSpec {
+        name: "mix_3",
+        cores: ["fotonik3d", "cam4", "pr", "xz", "mcf", "roms", "lbm", "bfs"],
+    },
+    MixSpec {
+        name: "mix_4",
+        cores: ["omnetpp", "xz", "lbm", "cactuBSSN", "fotonik3d", "cam4", "mcf", "roms"],
+    },
+    MixSpec {
+        name: "mix_5",
+        cores: ["lbm", "fotonik3d", "omnetpp", "mcf", "xz", "xalancbmk", "cam4", "cc"],
+    },
+    MixSpec {
+        name: "mix_6",
+        cores: ["parest", "lbm", "roms", "fotonik3d", "bfs", "omnetpp", "mcf", "xz"],
+    },
+];
+
+/// Every workload name of Table IV, singles then mixes.
+pub fn all_workload_names() -> Vec<&'static str> {
+    TABLE4_WORKLOADS
+        .iter()
+        .map(|w| w.name)
+        .chain(TABLE4_MIXES.iter().map(|m| m.name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_has_18_singles_and_6_mixes() {
+        assert_eq!(TABLE4_WORKLOADS.len(), 18);
+        assert_eq!(TABLE4_MIXES.len(), 6);
+        assert_eq!(all_workload_names().len(), 24);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(WorkloadSpec::by_name("lbm").unwrap().store_frac, 0.50);
+        assert!(WorkloadSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn mixes_reference_real_benchmarks() {
+        for mix in TABLE4_MIXES {
+            for core in mix.cores {
+                assert!(
+                    WorkloadSpec::by_name(core).is_some(),
+                    "{} references unknown {core}",
+                    mix.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specs_are_sane() {
+        for w in TABLE4_WORKLOADS {
+            assert!(w.apki > 0.0 && w.apki < 200.0, "{}", w.name);
+            assert!((1..=8).contains(&w.run_lines), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.store_frac), "{}", w.name);
+            assert!(w.pages >= 1024, "{} footprint too small", w.name);
+            assert!((0.0..2.0).contains(&w.zipf_s), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn footprints_exceed_the_llc() {
+        // Streaming assumption: working set >> 16 MB (4096 pages).
+        for w in TABLE4_WORKLOADS {
+            assert!(
+                w.pages * 4096 > 16 * 1024 * 1024,
+                "{} fits in the LLC, calibration invalid",
+                w.name
+            );
+        }
+    }
+}

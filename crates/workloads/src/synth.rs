@@ -1,0 +1,235 @@
+//! Synthetic trace generation from a [`WorkloadSpec`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mirza_frontend::trace::{AccessStream, TraceOp};
+
+use crate::spec::WorkloadSpec;
+
+/// Approximate Zipf sampler over `0..n` using the inverse-CDF of the
+/// continuous power-law approximation (exact enough for shaping page
+/// popularity; `s = 0` degenerates to uniform).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed (n^(1-s) - 1) for the inverse transform.
+    scale: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `s`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "need a non-empty domain");
+        assert!(s >= 0.0, "skew must be non-negative");
+        // Avoid the s == 1 singularity of the closed form.
+        let s = if (s - 1.0).abs() < 1e-6 { 0.999999 } else { s };
+        Zipf {
+            n,
+            s,
+            scale: (n as f64).powf(1.0 - s) - 1.0,
+        }
+    }
+
+    /// Draws one rank (0 = most popular).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.s == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let x = (self.scale * u + 1.0).powf(1.0 / (1.0 - self.s));
+        (x as u64).min(self.n - 1)
+    }
+}
+
+/// Streams [`TraceOp`]s matching a [`WorkloadSpec`].
+///
+/// Each spatial run picks a page by Zipf rank (ranks are scattered over the
+/// virtual address space with a Feistel-like permutation so popular pages do
+/// not cluster), a random starting line, and emits `run_lines` sequential
+/// accesses. Gaps between accesses realize the spec's APKI exactly on
+/// average using an error accumulator.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    zipf: Zipf,
+    /// Remaining (page, next line) of the current run.
+    run: Option<(u64, u32, u32)>,
+    /// Fixed-point accumulator of non-memory instructions owed.
+    gap_acc: f64,
+}
+
+impl SyntheticWorkload {
+    /// Creates the generator for `spec` with a deterministic `seed`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        SyntheticWorkload {
+            zipf: Zipf::new(spec.pages, spec.zipf_s),
+            rng: SmallRng::seed_from_u64(seed),
+            run: None,
+            gap_acc: 0.0,
+            spec,
+        }
+    }
+
+    /// The spec driving this generator.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Scatters Zipf rank -> virtual page number so popular pages spread
+    /// over the footprint (multiplicative hashing, stable per workload).
+    fn rank_to_vpn(&self, rank: u64) -> u64 {
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.spec.pages
+    }
+}
+
+/// Lines per 4 KB page.
+const LINES_PER_PAGE: u32 = 64;
+
+impl AccessStream for SyntheticWorkload {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        let (page, line, left) = match self.run.take() {
+            Some(r) => r,
+            None => {
+                let rank = self.zipf.sample(&mut self.rng);
+                let page = self.rank_to_vpn(rank);
+                let max_start = LINES_PER_PAGE - self.spec.run_lines.min(LINES_PER_PAGE);
+                let start = if max_start == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=max_start)
+                };
+                (page, start, self.spec.run_lines)
+            }
+        };
+        if left > 1 {
+            self.run = Some((page, line + 1, left - 1));
+        }
+        // Non-memory gap: 1000/apki instructions per access, minus the
+        // access itself, kept exact on average.
+        self.gap_acc += 1000.0 / self.spec.apki - 1.0;
+        let nonmem = if self.gap_acc >= 1.0 {
+            let g = self.gap_acc.floor();
+            self.gap_acc -= g;
+            g as u32
+        } else {
+            0
+        };
+        let vaddr = page * 4096 + u64::from(line) * 64;
+        let is_store = self.rng.gen_bool(self.spec.store_frac);
+        Some(TraceOp {
+            nonmem,
+            vaddr,
+            is_store,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    fn spec(apki: f64, run: u32, store: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test",
+            apki,
+            run_lines: run,
+            store_frac: store,
+            pages: 8192,
+            zipf_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn apki_is_exact_on_average() {
+        let mut w = SyntheticWorkload::new(spec(25.0, 2, 0.1), 1);
+        let mut instr = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            let op = w.next_op().unwrap();
+            instr += u64::from(op.nonmem) + 1;
+        }
+        let apki = n as f64 * 1000.0 / instr as f64;
+        assert!((apki - 25.0).abs() < 0.5, "measured APKI {apki}");
+    }
+
+    #[test]
+    fn runs_are_sequential_lines() {
+        let mut w = SyntheticWorkload::new(spec(10.0, 4, 0.0), 2);
+        let a = w.next_op().unwrap();
+        let b = w.next_op().unwrap();
+        let c = w.next_op().unwrap();
+        let d = w.next_op().unwrap();
+        assert_eq!(b.vaddr, a.vaddr + 64);
+        assert_eq!(c.vaddr, a.vaddr + 128);
+        assert_eq!(d.vaddr, a.vaddr + 192);
+        // Next run starts elsewhere (with overwhelming probability).
+        let e = w.next_op().unwrap();
+        assert_ne!(e.vaddr, a.vaddr + 256);
+    }
+
+    #[test]
+    fn store_fraction_tracks_spec() {
+        let mut w = SyntheticWorkload::new(spec(10.0, 1, 0.3), 3);
+        let stores = (0..50_000)
+            .filter(|_| w.next_op().unwrap().is_store)
+            .count();
+        let frac = stores as f64 / 50_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "store fraction {frac}");
+    }
+
+    #[test]
+    fn footprint_stays_within_pages() {
+        let mut w = SyntheticWorkload::new(spec(10.0, 1, 0.0), 4);
+        for _ in 0..10_000 {
+            let op = w.next_op().unwrap();
+            assert!(op.vaddr < 8192 * 4096);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_popularity() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut top_decile = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 100 {
+                top_decile += 1;
+            }
+        }
+        // With s=1, the top 10% of ranks draw well over half the mass.
+        assert!(
+            top_decile as f64 > 0.5 * n as f64,
+            "top decile only {top_decile}/{n}"
+        );
+    }
+
+    #[test]
+    fn zipf_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!((1600..2400).contains(&c), "non-uniform bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SyntheticWorkload::new(spec(10.0, 2, 0.2), 9);
+        let mut b = SyntheticWorkload::new(spec(10.0, 2, 0.2), 9);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Plain-text trace files, for users who have real program traces instead
+//! of the synthetic Table-IV generators.
+//!
+//! Format (Ramulator-style), one record per line:
+//!
+//! ```text
+//! <nonmem-instructions> <hex-or-decimal-address> <R|W>
+//! # comments and blank lines are ignored
+//! 12 0x7f3a40 R
+//! 0 81920 W
+//! ```
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use mirza_frontend::trace::TraceOp;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_addr(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// Parses one trace line (`None` for blank/comment lines).
+///
+/// # Errors
+/// Returns the reason when the record is malformed.
+pub fn parse_line(line: &str, lineno: usize) -> Result<Option<TraceOp>, ParseTraceError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let err = |message: &str| ParseTraceError {
+        line: lineno,
+        message: message.to_string(),
+    };
+    let nonmem = parts
+        .next()
+        .and_then(|t| t.parse::<u32>().ok())
+        .ok_or_else(|| err("expected a non-negative instruction count"))?;
+    let vaddr = parts
+        .next()
+        .and_then(parse_addr)
+        .ok_or_else(|| err("expected a hex (0x...) or decimal address"))?;
+    let is_store = match parts.next() {
+        Some("R") | Some("r") | Some("L") | Some("l") | None => false,
+        Some("W") | Some("w") | Some("S") | Some("s") => true,
+        Some(other) => return Err(err(&format!("unknown access kind {other:?}"))),
+    };
+    if parts.next().is_some() {
+        return Err(err("trailing tokens"));
+    }
+    Ok(Some(TraceOp {
+        nonmem,
+        vaddr,
+        is_store,
+    }))
+}
+
+/// Loads a whole trace file.
+///
+/// # Errors
+/// I/O failures and malformed records (with line numbers) are reported.
+pub fn load(path: &Path) -> Result<Vec<TraceOp>, Box<dyn std::error::Error>> {
+    let f = BufReader::new(File::open(path)?);
+    let mut ops = Vec::new();
+    for (i, line) in f.lines().enumerate() {
+        if let Some(op) = parse_line(&line?, i + 1)? {
+            ops.push(op);
+        }
+    }
+    Ok(ops)
+}
+
+/// Saves a trace in the same format (addresses in hex).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save(path: &Path, ops: &[TraceOp]) -> std::io::Result<()> {
+    let mut f = BufWriter::new(File::create(path)?);
+    for op in ops {
+        writeln!(
+            f,
+            "{} {:#x} {}",
+            op.nonmem,
+            op.vaddr,
+            if op.is_store { 'W' } else { 'R' }
+        )?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_formats() {
+        assert_eq!(
+            parse_line("12 0x7f3a40 R", 1).unwrap(),
+            Some(TraceOp {
+                nonmem: 12,
+                vaddr: 0x7f3a40,
+                is_store: false
+            })
+        );
+        assert_eq!(
+            parse_line("0 81920 W", 1).unwrap(),
+            Some(TraceOp {
+                nonmem: 0,
+                vaddr: 81920,
+                is_store: true
+            })
+        );
+        // Kind defaults to read.
+        assert!(!parse_line("3 0x10", 1).unwrap().unwrap().is_store);
+        assert_eq!(parse_line("  # comment", 1).unwrap(), None);
+        assert_eq!(parse_line("", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        for bad in ["x 0x10 R", "1 zz R", "1 0x10 Q", "1 0x10 R extra"] {
+            let e = parse_line(bad, 7).unwrap_err();
+            assert_eq!(e.line, 7, "{bad}");
+            assert!(e.to_string().contains("line 7"));
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let ops: Vec<TraceOp> = (0..50)
+            .map(|i| TraceOp {
+                nonmem: i % 7,
+                vaddr: u64::from(i) * 4096 + 64,
+                is_store: i % 3 == 0,
+            })
+            .collect();
+        let path = std::env::temp_dir().join("mirza_trace_roundtrip.trace");
+        save(&path, &ops).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, ops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_reports_line_numbers() {
+        let path = std::env::temp_dir().join("mirza_trace_badline.trace");
+        std::fs::write(&path, "1 0x10 R\nnot a record\n").unwrap();
+        let err = load(&path).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

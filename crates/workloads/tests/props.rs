@@ -1,0 +1,101 @@
+//! Property-based tests for workload generation and attack kernels.
+
+use proptest::prelude::*;
+
+use mirza_dram::address::{MappingScheme, RegionMap, RowMapping};
+use mirza_frontend::trace::AccessStream;
+use mirza_workloads::attacks::RowPattern;
+use mirza_workloads::spec::WorkloadSpec;
+use mirza_workloads::synth::SyntheticWorkload;
+
+proptest! {
+    /// Generated APKI converges to the spec within 5% for any sane spec.
+    #[test]
+    fn apki_converges(
+        apki in 1.0f64..100.0,
+        run in 1u32..8,
+        store in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            name: "prop",
+            apki,
+            run_lines: run,
+            store_frac: store,
+            pages: 8192,
+            zipf_s: 0.5,
+        };
+        let mut w = SyntheticWorkload::new(spec, seed);
+        let n = 30_000u64;
+        let mut instr = 0u64;
+        for _ in 0..n {
+            let op = w.next_op().unwrap();
+            instr += u64::from(op.nonmem) + 1;
+        }
+        let measured = n as f64 * 1000.0 / instr as f64;
+        prop_assert!(
+            (measured - apki).abs() / apki < 0.05,
+            "target {apki}, measured {measured}"
+        );
+    }
+
+    /// Generated addresses stay inside the declared footprint.
+    #[test]
+    fn footprint_respected(pages in 1024u64..32768, seed in any::<u64>()) {
+        let spec = WorkloadSpec {
+            name: "prop",
+            apki: 10.0,
+            run_lines: 2,
+            store_frac: 0.1,
+            pages,
+            zipf_s: 0.7,
+        };
+        let mut w = SyntheticWorkload::new(spec, seed);
+        for _ in 0..2_000 {
+            prop_assert!(w.next_op().unwrap().vaddr < pages * 4096);
+        }
+    }
+
+    /// A circular pattern visits each row the same number of times
+    /// (within one) over any horizon.
+    #[test]
+    fn circular_patterns_are_fair(
+        k in 1usize..32,
+        horizon in 1usize..500,
+    ) {
+        let rows: Vec<u32> = (0..k as u32).map(|i| i * 7).collect();
+        let mut p = RowPattern::circular(rows.clone());
+        let mut counts = vec![0u32; k];
+        for _ in 0..horizon {
+            let r = p.next_act();
+            let idx = rows.iter().position(|&x| x == r).unwrap();
+            counts[idx] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "unfair rotation: {counts:?}");
+    }
+
+    /// Same-region patterns only touch their region, for any region and
+    /// any k within capacity.
+    #[test]
+    fn same_region_stays_home(region in 0u32..128, k in 1u32..64) {
+        let mapping = RowMapping::new(MappingScheme::Strided, 128 * 1024, 128);
+        let regions = RegionMap::new(128 * 1024, 128);
+        let mut p = RowPattern::same_region(&mapping, &regions, region, k);
+        for _ in 0..200 {
+            let row = p.next_act();
+            prop_assert_eq!(regions.region_of_phys(mapping.phys_of(row)), region);
+        }
+    }
+
+    /// Double-sided aggressors straddle their victim physically.
+    #[test]
+    fn double_sided_straddles(victim in 1u32..1023) {
+        let mapping = RowMapping::new(MappingScheme::Strided, 128 * 1024, 128);
+        let p = RowPattern::double_sided(&mapping, victim);
+        let mut phys: Vec<u32> = p.rows().iter().map(|&r| mapping.phys_of(r)).collect();
+        phys.sort_unstable();
+        prop_assert_eq!(phys, vec![victim - 1, victim + 1]);
+    }
+}

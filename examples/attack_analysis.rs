@@ -1,0 +1,93 @@
+//! Attack analysis: replay Rowhammer patterns against MIRZA and the
+//! baselines, and compare the measured worst case against the Section-VI
+//! analytic bounds.
+//!
+//! Run with: `cargo run --release --example attack_analysis`
+
+use mirza::core::config::MirzaConfig;
+use mirza::core::mirza::Mirza;
+use mirza::dram::geometry::Geometry;
+use mirza::dram::mitigation::Mitigator;
+use mirza::dram::timing::TimingParams;
+use mirza::security::montecarlo::run_hammer;
+use mirza::trackers::prac::PracMoat;
+use mirza::trackers::trr::Trr;
+use mirza::workloads::attacks::RowPattern;
+
+fn main() {
+    let geom = Geometry::ddr5_32gb();
+    let timing = TimingParams::ddr5_6000();
+    let one_window = u64::from(geom.refs_per_full_walk()); // 8192 REFs = 32 ms
+
+    println!("pattern            tracker      max unmitigated ACTs   bound");
+
+    // Double-sided attack against each MIRZA threshold configuration.
+    for cfg in [
+        MirzaConfig::trhd_500(),
+        MirzaConfig::trhd_1000(),
+        MirzaConfig::trhd_2000(),
+    ] {
+        let mut m = Mirza::new(cfg, &geom, 7);
+        let mapping = *m.mapping().expect("MIRZA exposes its mapping");
+        let mut p = RowPattern::double_sided(&mapping, 5_000);
+        let out = run_hammer(&mut m, &geom, &timing, 0, &mut p, one_window);
+        println!(
+            "double-sided       mirza-{:<5}  {:>8} ({} alerts)    < {}",
+            cfg.target_trhd,
+            out.max_unmitigated_acts,
+            out.alerts,
+            cfg.safe_trhd()
+        );
+        assert!(out.max_unmitigated_acts < cfg.safe_trhd());
+    }
+
+    // The CGF-evading same-region pattern (Figure 12 kernel).
+    {
+        let cfg = MirzaConfig::trhd_1000();
+        let mut m = Mirza::new(cfg, &geom, 13);
+        let mapping = *m.mapping().expect("mapping");
+        let regions = *m.rct().expect("rct").regions();
+        let mut p = RowPattern::same_region(&mapping, &regions, 3, 8);
+        let out = run_hammer(&mut m, &geom, &timing, 0, &mut p, one_window);
+        println!(
+            "same-region (x8)   mirza-1000   {:>8} ({} alerts)    < {}",
+            out.max_unmitigated_acts,
+            out.alerts,
+            cfg.safe_trhd()
+        );
+    }
+
+    // PRAC/MOAT: tight reactive bound.
+    {
+        let mut p = PracMoat::for_trhd(1000, &geom);
+        let mut pat = RowPattern::single_sided(4_242);
+        let out = run_hammer(&mut p, &geom, &timing, 0, &mut pat, one_window);
+        println!(
+            "single-sided       prac-moat    {:>8} ({} alerts)    ~ ATH+4",
+            out.max_unmitigated_acts, out.alerts
+        );
+    }
+
+    // TRR succumbs to a Blacksmith-style decoy flood.
+    {
+        let mut rows = Vec::new();
+        for d in 0..56u32 {
+            rows.push(40_000 + d * 8);
+            rows.push(40_000 + d * 8);
+        }
+        rows.push(20_001);
+        rows.push(20_003);
+        let mut t = Trr::ddr4_like(&geom);
+        let mut pat = RowPattern::circular(rows);
+        let out = run_hammer(&mut t, &geom, &timing, 0, &mut pat, 2 * one_window);
+        println!(
+            "decoy flood        trr          {:>8} -> bit flips below TRHD 4.8K ({})",
+            out.max_unmitigated_acts,
+            if out.max_unmitigated_acts > 4800 {
+                "BROKEN"
+            } else {
+                "held"
+            }
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: build a MIRZA-protected DDR5 sub-channel, drive it by hand,
+//! and then let the full-system simulator measure the overhead on a real
+//! workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mirza::core::config::MirzaConfig;
+use mirza::core::mirza::Mirza;
+use mirza::dram::prelude::*;
+use mirza::sim::prelude::*;
+
+fn main() {
+    // --- 1. The tracker by itself -------------------------------------
+    let geom = Geometry::ddr5_32gb();
+    let cfg = MirzaConfig::trhd_1000(); // Table VII default: FTH=1500, W=12
+    println!(
+        "MIRZA @ TRHD=1K: FTH={}, MINT-W={}, {} regions/bank, {} B SRAM/bank",
+        cfg.fth,
+        cfg.mint_w,
+        cfg.regions_per_bank,
+        cfg.sram_bytes_per_bank()
+    );
+
+    let mut tracker = Mirza::new(cfg, &geom, 42);
+    // A benign burst: 1000 ACTs spread over 1000 rows -> all filtered.
+    for row in 0..1000 {
+        tracker.on_activate(0, row * 131, Ps::ZERO);
+    }
+    println!(
+        "benign spread: {} ACTs, {} filtered, alert={}",
+        tracker.stats().acts_observed,
+        tracker.stats().acts_filtered,
+        tracker.alert_pending()
+    );
+    // A hammering burst: 4000 ACTs into one region -> ALERT.
+    for i in 0..4000u32 {
+        tracker.on_activate(0, (i % 4) * 128, Ps::ZERO);
+    }
+    println!(
+        "hammer burst: alert={} (queue fills once the region exceeds FTH)",
+        tracker.alert_pending()
+    );
+    tracker.on_rfm(true, Ps::ZERO); // the ALERT back-off RFM
+    println!(
+        "after back-off: {} aggressors mitigated, {} victim rows refreshed\n",
+        tracker.stats().mitigations,
+        tracker.stats().victim_rows_refreshed
+    );
+
+    // --- 2. The same tracker inside the full system --------------------
+    // Two cores of `lbm` at a reduced scale, baseline vs MIRZA vs PRAC.
+    let mut base_cfg = SimConfig::new(MitigationConfig::None, 300_000);
+    base_cfg.cores = 2;
+    let baseline = run_workload(&base_cfg, "lbm");
+
+    let mut mirza_cfg = SimConfig::new(
+        MitigationConfig::Mirza {
+            cfg: MirzaConfig::trhd_1000(),
+            policy: mirza::core::rct::ResetPolicy::Safe,
+        },
+        300_000,
+    );
+    mirza_cfg.cores = 2;
+    let mirza = run_workload(&mirza_cfg, "lbm");
+
+    let mut prac_cfg = SimConfig::new(MitigationConfig::PracAbo { trhd: 1000 }, 300_000);
+    prac_cfg.cores = 2;
+    let prac = run_workload(&prac_cfg, "lbm");
+
+    println!("workload lbm (2 cores, 300K instructions each):");
+    println!(
+        "  baseline: IPC {:?}, {} ACTs",
+        baseline
+            .core_ipc
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        baseline.device.acts
+    );
+    println!("  MIRZA:    {:+.2}% slowdown", mirza.slowdown_pct(&baseline));
+    println!(
+        "  PRAC:     {:+.2}% slowdown (inflated tRP/tRC, zero ALERTs)",
+        prac.slowdown_pct(&baseline)
+    );
+}

@@ -1,0 +1,9 @@
+//! MIRZA reproduction facade crate: re-exports every subsystem.
+pub use mirza_core as core;
+pub use mirza_dram as dram;
+pub use mirza_frontend as frontend;
+pub use mirza_memctrl as memctrl;
+pub use mirza_security as security;
+pub use mirza_sim as sim;
+pub use mirza_trackers as trackers;
+pub use mirza_workloads as workloads;

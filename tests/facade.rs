@@ -1,0 +1,25 @@
+//! The facade crate re-exports every subsystem under stable module names.
+
+#[test]
+fn facade_reexports_every_subsystem() {
+    // Types from each crate are reachable through the facade.
+    let _geom = mirza::dram::geometry::Geometry::ddr5_32gb();
+    let _cfg = mirza::core::config::MirzaConfig::trhd_1000();
+    let _mapper = mirza::memctrl::mapping::AddressMapper::mop4(_geom);
+    let _cache = mirza::frontend::cache::SetAssocCache::llc_16mb();
+    let _spec = mirza::workloads::spec::WorkloadSpec::by_name("lbm").unwrap();
+    let _mit = mirza::sim::config::MitigationConfig::None;
+    let _t11 = mirza::security::dos::table11(&mirza::dram::timing::TimingParams::ddr5_6000());
+    let _trr = mirza::trackers::trr::Trr::ddr4_like(&_geom);
+}
+
+#[test]
+fn headline_constants_hold() {
+    // The claims the README makes must stay true.
+    let cfg = mirza::core::config::MirzaConfig::trhd_1000();
+    assert_eq!(cfg.sram_bytes_per_bank(), 196);
+    let area = mirza::security::area::table10();
+    assert!(area[0].prac_over_mirza > 40.0);
+    let t11 = mirza::security::dos::table11(&mirza::dram::timing::TimingParams::ddr5_6000());
+    assert!((t11[1].slowdown - 1.8).abs() < 0.05); // W=12 -> 1.8x
+}

@@ -1,0 +1,83 @@
+//! Paper-shape regressions: the qualitative results every figure/table
+//! rests on, checked end-to-end at tiny scale so they run in CI time.
+
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+use mirza_sim::config::MitigationConfig;
+
+fn lab() -> Lab {
+    Lab::new(Scale::smoke())
+}
+
+#[test]
+fn figure3_shape_mint_rfm_cost_decreases_with_threshold() {
+    let mut lab = lab();
+    let s500 = lab.avg_slowdown(MitigationConfig::MintRfm { bat: 24 });
+    let s1000 = lab.avg_slowdown(MitigationConfig::MintRfm { bat: 48 });
+    let s2000 = lab.avg_slowdown(MitigationConfig::MintRfm { bat: 96 });
+    assert!(
+        s500 > s1000 && s1000 > s2000,
+        "RFM cost must fall with BAT: {s500:.2} / {s1000:.2} / {s2000:.2}"
+    );
+}
+
+#[test]
+fn figure11_shape_mirza_beats_prac_and_mint() {
+    let mut lab = lab();
+    let mirza = lab.avg_slowdown(lab.mirza(1000));
+    let prac = lab.avg_slowdown(MitigationConfig::PracAbo { trhd: 1000 });
+    let mint = lab.avg_slowdown(MitigationConfig::MintRfm { bat: 48 });
+    assert!(
+        mirza < prac,
+        "headline: MIRZA {mirza:.2}% must beat PRAC {prac:.2}%"
+    );
+    assert!(
+        mirza < mint,
+        "headline: MIRZA {mirza:.2}% must beat MINT+RFM {mint:.2}%"
+    );
+}
+
+#[test]
+fn figure11b_shape_prac_never_alerts_on_benign_traffic() {
+    let mut lab = lab();
+    for w in lab.workloads() {
+        let r = lab.run(MitigationConfig::PracAbo { trhd: 1000 }, w);
+        assert_eq!(
+            r.device.alerts, 0,
+            "{w}: benign traffic must not reach PRAC's ATH"
+        );
+    }
+}
+
+#[test]
+fn table8_shape_mirza_mitigates_far_less_than_mint() {
+    let mut lab = lab();
+    let mirza_cfg = lab.mirza(1000);
+    let (mut mirza_mit, mut acts) = (0u64, 0u64);
+    for w in lab.workloads() {
+        let r = lab.run(mirza_cfg, w);
+        mirza_mit += r.mitigation.mitigations;
+        acts += r.mitigation.acts_observed;
+    }
+    let mirza_rate = mirza_mit as f64 / acts.max(1) as f64;
+    let mint_rate = 1.0 / 48.0;
+    assert!(
+        mirza_rate < mint_rate / 2.0,
+        "MIRZA rate 1/{:.0} must be well under MINT's 1/48",
+        1.0 / mirza_rate.max(1e-12)
+    );
+}
+
+#[test]
+fn figure13_shape_mirza_refresh_power_is_negligible() {
+    let mut lab = lab();
+    let mirza_cfg = lab.mirza(2000);
+    for w in lab.workloads() {
+        let r = lab.run(mirza_cfg, w);
+        assert!(
+            r.refresh_power_overhead_pct() < 2.0,
+            "{w}: MIRZA refresh power should be near zero, got {:.2}%",
+            r.refresh_power_overhead_pct()
+        );
+    }
+}

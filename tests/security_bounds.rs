@@ -1,0 +1,108 @@
+//! Cross-crate security validation: every Table-VII MIRZA configuration
+//! bounds every implemented attack pattern by its Section-VI analytic
+//! threshold, while the insecure designs demonstrably fail.
+
+use mirza::core::config::MirzaConfig;
+use mirza::core::mirza::Mirza;
+use mirza::core::rct::ResetPolicy;
+use mirza::dram::geometry::Geometry;
+use mirza::dram::mitigation::Mitigator;
+use mirza::dram::timing::TimingParams;
+use mirza::security::montecarlo::run_hammer;
+use mirza::workloads::attacks::RowPattern;
+
+fn geom() -> Geometry {
+    Geometry::ddr5_32gb()
+}
+
+fn timing() -> TimingParams {
+    TimingParams::ddr5_6000()
+}
+
+/// Half a refresh window is enough to reach each attack's steady state
+/// while keeping the suite fast.
+const REFS: u64 = 4096;
+
+#[test]
+fn every_table7_config_bounds_double_sided() {
+    for cfg in [
+        MirzaConfig::trhd_500(),
+        MirzaConfig::trhd_1000(),
+        MirzaConfig::trhd_2000(),
+        MirzaConfig::trhd_4800(),
+    ] {
+        let mut m = Mirza::new(cfg, &geom(), 5);
+        let mapping = *m.mapping().unwrap();
+        let mut p = RowPattern::double_sided(&mapping, 7_777);
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut p, REFS);
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhd(),
+            "TRHD {}: {} >= {}",
+            cfg.target_trhd,
+            out.max_unmitigated_acts,
+            cfg.safe_trhd()
+        );
+    }
+}
+
+#[test]
+fn every_table7_config_bounds_many_sided() {
+    for cfg in [MirzaConfig::trhd_1000(), MirzaConfig::trhd_2000()] {
+        let mut m = Mirza::new(cfg, &geom(), 9);
+        let mapping = *m.mapping().unwrap();
+        let mut p = RowPattern::many_sided(&mapping, 11, 12);
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut p, REFS);
+        // Per-aggressor bound is the single-sided-style bound: many-sided
+        // splits the budget over 24 rows, so it lands far below even TRHD.
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhd(),
+            "TRHD {}: {}",
+            cfg.target_trhd,
+            out.max_unmitigated_acts
+        );
+    }
+}
+
+#[test]
+fn sensitivity_configs_hold_at_trhd_1000() {
+    // Table IX's four (W, FTH) pairs all promise TRHD = 1K.
+    for w in [4, 8, 12, 16] {
+        let cfg = MirzaConfig::sensitivity_1000(w);
+        let mut m = Mirza::new(cfg, &geom(), 31 + u64::from(w));
+        let mapping = *m.mapping().unwrap();
+        let mut p = RowPattern::double_sided(&mapping, 9_009);
+        let out = run_hammer(&mut m, &geom(), &timing(), 0, &mut p, REFS);
+        assert!(
+            out.max_unmitigated_acts < cfg.safe_trhd().max(1100),
+            "W={w}: {} vs {}",
+            out.max_unmitigated_acts,
+            cfg.safe_trhd()
+        );
+    }
+}
+
+#[test]
+fn unsafe_reset_policies_undercount() {
+    use mirza_bench::attacks_exp::{reset_policy_attack, reset_policy_attack_early_row};
+    let fth = 300;
+    let eager = reset_policy_attack(ResetPolicy::Eager, fth);
+    let lazy = reset_policy_attack_early_row(ResetPolicy::Lazy, fth);
+    let safe = reset_policy_attack(ResetPolicy::Safe, fth)
+        .max(reset_policy_attack_early_row(ResetPolicy::Safe, fth));
+    assert!(eager as f64 >= 1.7 * f64::from(fth), "eager {eager}");
+    assert!(lazy as f64 >= 1.7 * f64::from(fth), "lazy {lazy}");
+    assert!((safe as f64) < 1.4 * f64::from(fth), "safe {safe}");
+}
+
+#[test]
+fn safe_trh_equations_match_paper_structure() {
+    // TRHD_safe = FTH/2 + MINT_TRHD(W) + QTH + ABO_ACTS (+1), Section VI-B.
+    let cfg = MirzaConfig::trhd_1000();
+    let expected = cfg.fth / 2
+        + mirza::core::config::mint_tolerated_trhd(cfg.mint_w)
+        + cfg.qth
+        + mirza::core::config::ABO_EXTRA_ACTS
+        + 1;
+    assert_eq!(cfg.safe_trhd(), expected);
+    assert!(cfg.safe_trhd() <= 1100, "within ~10% of the 1K target");
+}

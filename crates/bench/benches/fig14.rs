@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_fig14(c: &mut Criterion) {
-    c.bench_function("fig14", |b| b.iter(|| std::hint::black_box(attacks_exp::fig14())));
+    c.bench_function("fig14", |b| {
+        b.iter(|| std::hint::black_box(attacks_exp::fig14()))
+    });
 }
 
 criterion_group! {

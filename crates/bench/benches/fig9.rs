@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("fig9", |b| b.iter(|| std::hint::black_box(analytic::fig9())));
+    c.bench_function("fig9", |b| {
+        b.iter(|| std::hint::black_box(analytic::fig9()))
+    });
 }
 
 criterion_group! {

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_security_sweep(c: &mut Criterion) {
-    c.bench_function("security_sweep", |b| b.iter(|| std::hint::black_box(attacks_exp::security_sweep(1))));
+    c.bench_function("security_sweep", |b| {
+        b.iter(|| std::hint::black_box(attacks_exp::security_sweep(1)))
+    });
 }
 
 criterion_group! {

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1", |b| b.iter(|| std::hint::black_box(analytic::table1())));
+    c.bench_function("table1", |b| {
+        b.iter(|| std::hint::black_box(analytic::table1()))
+    });
 }
 
 criterion_group! {

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_table12(c: &mut Criterion) {
-    c.bench_function("table12", |b| b.iter(|| std::hint::black_box(analytic::table12())));
+    c.bench_function("table12", |b| {
+        b.iter(|| std::hint::black_box(analytic::table12()))
+    });
 }
 
 criterion_group! {

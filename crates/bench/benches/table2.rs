@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2", |b| b.iter(|| std::hint::black_box(analytic::table2_report())));
+    c.bench_function("table2", |b| {
+        b.iter(|| std::hint::black_box(analytic::table2_report()))
+    });
 }
 
 criterion_group! {

@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mirza_bench::{analytic, attacks_exp};
 
 fn bench_table7(c: &mut Criterion) {
-    c.bench_function("table7", |b| b.iter(|| std::hint::black_box(analytic::table7())));
+    c.bench_function("table7", |b| {
+        b.iter(|| std::hint::black_box(analytic::table7()))
+    });
 }
 
 criterion_group! {

@@ -169,8 +169,7 @@ pub fn table12() -> String {
     // TRR: 28 entries x 3 B, one mitigation per 4 REF.
     // MINT: ~20 B (sampler + delayed-mitigation queue), one per 3 REF.
     let trr_cannibal = 100.0 * 280.0 / (410.0 * 4.0);
-    let mint_cannibal =
-        100.0 * MintRef::new(3, &geom, 0).refresh_cannibalization();
+    let mint_cannibal = 100.0 * MintRef::new(3, &geom, 0).refresh_cannibalization();
     format!(
         "Table XII: in-DRAM trackers at the current TRHD of 4.8K\n\
          tracker   storage/bank   secure?   refresh cannibalization\n\

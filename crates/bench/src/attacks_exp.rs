@@ -107,8 +107,7 @@ pub fn fig14() -> String {
         (ResetPolicy::Eager, "eager"),
         (ResetPolicy::Lazy, "lazy"),
     ] {
-        let max = reset_policy_attack(policy, fth)
-            .max(reset_policy_attack_early_row(policy, fth));
+        let max = reset_policy_attack(policy, fth).max(reset_policy_attack_early_row(policy, fth));
         let verdict = if f64::from(max) >= 1.7 * f64::from(fth) {
             "UNSAFE (near 2xFTH)"
         } else {
@@ -159,7 +158,12 @@ pub fn security_sweep(windows: u64) -> String {
         let regions = *m.rct().expect("rct").regions();
         let mut p = RowPattern::same_region(&mapping, &regions, 3, 8);
         let o = run_hammer(&mut m, &geom, &timing, 0, &mut p, refs);
-        report("mirza-1000", "same-region", o.max_unmitigated_acts, cfg.safe_trhd());
+        report(
+            "mirza-1000",
+            "same-region",
+            o.max_unmitigated_acts,
+            cfg.safe_trhd(),
+        );
     }
     // PRAC/MOAT.
     {

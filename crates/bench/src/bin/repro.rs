@@ -1,7 +1,8 @@
 //! `repro` — regenerate any table or figure of the MIRZA paper.
 //!
 //! ```text
-//! repro <experiment|all> [--smoke|--fast|--full] [--seed N] [--quiet]
+//! repro <experiment|all> [--smoke|--fast|--full] [--seed N] [--csv FILE]
+//!       [--json FILE] [--list] [--quiet]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
@@ -26,8 +27,8 @@ use mirza_bench::scale::Scale;
 const SIM_EXPERIMENTS: &[&str] = &[
     // Ordered so the cheapest, highest-value experiments complete first;
     // the ALERT-storm-heavy Table V and the attacker simulation come last.
-    "table4", "fig6", "fig11a", "fig11b", "table8", "fig13", "table9", "table6", "fig3",
-    "table13", "table5", "dos-sim",
+    "table4", "fig6", "fig11a", "fig11b", "table8", "fig13", "table9", "table6", "fig3", "table13",
+    "table5", "dos-sim",
 ];
 const ANALYTIC_EXPERIMENTS: &[&str] = &[
     "table1", "table2", "table3", "table7", "fig9", "table10", "table11", "table12",
@@ -76,7 +77,8 @@ fn run_experiment(name: &str, lab: &mut Lab) -> Option<String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <experiment|all|ablations> [--smoke|--fast|--full] [--seed N] [--csv FILE] [--quiet]\n\
+        "usage: repro <experiment|all|ablations> [--smoke|--fast|--full] [--seed N] \
+         [--csv FILE] [--json FILE] [--list] [--quiet]\n\
          experiments: {} {} {} {}",
         ANALYTIC_EXPERIMENTS.join(" "),
         SIM_EXPERIMENTS.join(" "),
@@ -86,12 +88,31 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn list_experiments() -> ExitCode {
+    for (category, names) in [
+        (
+            "analytic (closed-form, no simulation)",
+            ANALYTIC_EXPERIMENTS,
+        ),
+        ("simulation (run by `all`)", SIM_EXPERIMENTS),
+        ("attack (run by `all`)", ATTACK_EXPERIMENTS),
+        ("extensions (run by `ablations`)", EXTENSION_EXPERIMENTS),
+    ] {
+        println!("{category}:");
+        for name in names {
+            println!("  {name}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::fast();
     let mut target: Option<String> = None;
     let mut verbose = true;
     let mut csv: Option<std::path::PathBuf> = None;
+    let mut json: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -99,12 +120,17 @@ fn main() -> ExitCode {
             "--fast" => scale = Scale::fast(),
             "--full" => scale = Scale::full(),
             "--quiet" => verbose = false,
+            "--list" => return list_experiments(),
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => scale.seed = s,
                 None => return usage(),
             },
             "--csv" => match it.next() {
                 Some(p) => csv = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(p) => json = Some(std::path::PathBuf::from(p)),
                 None => return usage(),
             },
             name if !name.starts_with('-') && target.is_none() => {
@@ -119,6 +145,14 @@ fn main() -> ExitCode {
     let mut lab = Lab::new(scale);
     lab.verbose = verbose;
     lab.csv_path = csv;
+    if verbose {
+        // One status line roughly every 10 M retired instructions keeps
+        // paper-scale runs observably alive without flooding fast mode.
+        lab.heartbeat_every = Some(10_000_000);
+    }
+    if json.is_some() {
+        lab.enable_manifest();
+    }
     let names: Vec<&str> = if target == "all" {
         ANALYTIC_EXPERIMENTS
             .iter()
@@ -132,11 +166,21 @@ fn main() -> ExitCode {
         vec![target.as_str()]
     };
     for name in names {
+        lab.begin_experiment(name);
         match run_experiment(name, &mut lab) {
             Some(table) => {
                 println!("{table}");
             }
             None => return usage(),
+        }
+    }
+    if let Some(path) = json {
+        if let Err(e) = lab.write_manifest(&path) {
+            eprintln!("error: cannot write manifest {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if verbose {
+            eprintln!("wrote manifest {}", path.display());
         }
     }
     ExitCode::SUCCESS

@@ -12,11 +12,12 @@ use mirza_sim::config::MitigationConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let workload = args.first().map(String::as_str).unwrap_or("lbm").to_string();
-    let millions: u64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150);
+    let workload = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("lbm")
+        .to_string();
+    let millions: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(150);
     let mut scale = Scale::full();
     scale.instructions = millions * 1_000_000;
     scale.workloads = vec![Box::leak(workload.clone().into_boxed_str())];

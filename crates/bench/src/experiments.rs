@@ -107,7 +107,10 @@ pub fn table5(lab: &mut Lab) -> String {
     for w in [24u32, 48, 96] {
         let mut line = format!("{w:<8}");
         for q in [1usize, 2, 4, 8] {
-            let cfg = MitigationConfig::MirzaNaive { mint_w: w, queue: q };
+            let cfg = MitigationConfig::MirzaNaive {
+                mint_w: w,
+                queue: q,
+            };
             let sum: f64 = subset.iter().map(|wl| lab.slowdown(cfg, wl)).sum();
             let _ = write!(line, " {:>8.2}%", sum / subset.len() as f64);
         }
@@ -321,7 +324,11 @@ pub fn table13(lab: &mut Lab) -> String {
     for trhd in [500u32, 1000, 2000] {
         let (prac_atk, rfm_atk, mirza_atk) = table13_attack_column(trhd);
         let rows = [
-            ("PRAC+ABO", prac_atk, lab.avg_slowdown(MitigationConfig::PracAbo { trhd })),
+            (
+                "PRAC+ABO",
+                prac_atk,
+                lab.avg_slowdown(MitigationConfig::PracAbo { trhd }),
+            ),
             ("MINT+RFM", rfm_atk, lab.avg_slowdown(mint_rfm(trhd))),
             ("MIRZA", mirza_atk, lab.avg_slowdown(lab.mirza(trhd))),
         ];

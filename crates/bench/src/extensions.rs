@@ -189,10 +189,7 @@ mod tests {
                 .unwrap()
         };
         // Remaining-ACT share: strided must escape less.
-        assert!(
-            grab("strided") <= grab("sequential") + 1e-9,
-            "{t}"
-        );
+        assert!(grab("strided") <= grab("sequential") + 1e-9, "{t}");
     }
 
     #[test]

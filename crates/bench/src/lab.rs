@@ -6,9 +6,10 @@ use std::collections::HashMap;
 
 use mirza_core::config::MirzaConfig;
 use mirza_core::rct::ResetPolicy;
-use mirza_sim::config::MitigationConfig;
+use mirza_sim::config::{MitigationConfig, SimConfig};
 use mirza_sim::report::SimReport;
-use mirza_sim::runner::run_workload;
+use mirza_sim::runner::run_workload_with;
+use mirza_telemetry::{Json, Telemetry};
 
 use crate::scale::Scale;
 
@@ -20,6 +21,10 @@ pub struct Lab {
     pub verbose: bool,
     /// Append one CSV row per completed run to this file.
     pub csv_path: Option<std::path::PathBuf>,
+    /// Progress heartbeat period in retired instructions (`None` = silent).
+    pub heartbeat_every: Option<u64>,
+    /// Per-experiment run records, collected when manifest mode is on.
+    manifest: Option<Vec<(String, Vec<Json>)>>,
 }
 
 impl Lab {
@@ -30,7 +35,81 @@ impl Lab {
             cache: HashMap::new(),
             verbose: false,
             csv_path: None,
+            heartbeat_every: None,
+            manifest: None,
         }
+    }
+
+    /// Starts collecting run manifests: every simulation from here on runs
+    /// with telemetry enabled and leaves a JSON record (config, report,
+    /// metric summaries) in the document returned by [`Lab::manifest_json`].
+    pub fn enable_manifest(&mut self) {
+        if self.manifest.is_none() {
+            self.manifest = Some(Vec::new());
+        }
+    }
+
+    /// Opens a new experiment group; subsequent runs are recorded under
+    /// `name`. No-op unless manifest mode is on.
+    pub fn begin_experiment(&mut self, name: &str) {
+        if let Some(groups) = &mut self.manifest {
+            groups.push((name.to_string(), Vec::new()));
+        }
+    }
+
+    fn record_run(
+        &mut self,
+        label: &str,
+        workload: &str,
+        cfg: &SimConfig,
+        report: &SimReport,
+        telemetry: &Telemetry,
+    ) {
+        let Some(groups) = &mut self.manifest else {
+            return;
+        };
+        if groups.is_empty() {
+            groups.push(("ungrouped".to_string(), Vec::new()));
+        }
+        let mut run = Json::obj();
+        run.push("label", label)
+            .push("workload", workload)
+            .push("config", cfg.to_json())
+            .push("report", report.to_json())
+            .push("telemetry", telemetry.to_json().unwrap_or(Json::Null));
+        groups
+            .last_mut()
+            .expect("just ensured non-empty")
+            .1
+            .push(run);
+    }
+
+    /// The manifest document collected so far (`None` unless enabled).
+    /// Cache recalls are not re-recorded: each simulated run appears once,
+    /// under the experiment that first triggered it.
+    pub fn manifest_json(&self) -> Option<Json> {
+        let groups = self.manifest.as_ref()?;
+        let experiments: Vec<Json> = groups
+            .iter()
+            .map(|(name, runs)| {
+                let mut e = Json::obj();
+                e.push("name", name.as_str()).push("runs", runs.clone());
+                e
+            })
+            .collect();
+        let mut doc = Json::obj();
+        doc.push("scale", self.scale.to_json())
+            .push("seed", self.scale.seed)
+            .push("experiments", experiments);
+        Some(doc)
+    }
+
+    /// Writes the collected manifest to `path` as pretty-printed JSON.
+    pub fn write_manifest(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let doc = self.manifest_json().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "manifest mode is off")
+        })?;
+        std::fs::write(path, doc.to_string_pretty() + "\n")
     }
 
     fn append_csv(&self, report: &SimReport) {
@@ -38,12 +117,19 @@ impl Lab {
         let Some(path) = &self.csv_path else {
             return;
         };
-        let new = !path.exists();
-        let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        else {
             eprintln!("warning: cannot open {}", path.display());
             return;
         };
-        if new {
+        // Header iff the file is empty *after* opening: probing `exists()`
+        // beforehand writes a second header when the path appears between
+        // the probe and the open, and skips it for pre-created empty files.
+        let empty = f.metadata().map(|m| m.len() == 0).unwrap_or(false);
+        if empty {
             let _ = writeln!(f, "{}", SimReport::csv_header());
         }
         let _ = writeln!(f, "{}", report.csv_row());
@@ -68,8 +154,15 @@ impl Lab {
         if self.verbose {
             eprintln!("  running {key} ...");
         }
-        let cfg = self.scale.sim_config(mitigation);
-        let report = run_workload(&cfg, workload);
+        let mut cfg = self.scale.sim_config(mitigation);
+        cfg.heartbeat_every = self.heartbeat_every;
+        let telemetry = if self.manifest.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let report = run_workload_with(&cfg, workload, telemetry.clone());
+        self.record_run(&mitigation.label(), workload, &cfg, &report, &telemetry);
         self.append_csv(&report);
         self.cache.insert(key, report.clone());
         report
@@ -111,7 +204,9 @@ impl Lab {
     /// MIRZA sensitivity config (Table IX) for a MINT window, scaled.
     pub fn mirza_sensitivity(&self, mint_w: u32) -> MitigationConfig {
         MitigationConfig::Mirza {
-            cfg: self.scale.mirza_config(MirzaConfig::sensitivity_1000(mint_w)),
+            cfg: self
+                .scale
+                .mirza_config(MirzaConfig::sensitivity_1000(mint_w)),
             policy: ResetPolicy::Safe,
         }
     }
@@ -153,5 +248,59 @@ mod tests {
     fn unknown_trhd_panics() {
         let lab = Lab::new(Scale::smoke());
         let _ = lab.mirza(750);
+    }
+
+    #[test]
+    fn manifest_groups_runs_by_experiment_without_duplicating_cache_hits() {
+        let mut lab = Lab::new(Scale::smoke());
+        lab.enable_manifest();
+        lab.begin_experiment("exp-a");
+        let _ = lab.run(MitigationConfig::None, "lbm");
+        lab.begin_experiment("exp-b");
+        let _ = lab.run(MitigationConfig::None, "bc");
+        let _ = lab.run(MitigationConfig::None, "lbm"); // cache recall
+        let doc = lab.manifest_json().expect("manifest mode is on");
+        assert_eq!(doc.get("seed").unwrap().as_u64(), Some(0xC0FFEE));
+        assert!(doc.get("scale").unwrap().get("shrink").is_some());
+        let exps = doc.get("experiments").unwrap().as_arr().unwrap();
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0].get("name").unwrap().as_str(), Some("exp-a"));
+        let runs_a = exps[0].get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs_a.len(), 1);
+        let run = &runs_a[0];
+        assert_eq!(run.get("workload").unwrap().as_str(), Some("lbm"));
+        assert!(run.get("config").unwrap().get("seed").is_some());
+        assert!(run.get("report").unwrap().get("instructions").is_some());
+        let hists = run.get("telemetry").unwrap().get("histograms").unwrap();
+        assert!(hists.get("mc.read_latency_ns").is_some());
+        let runs_b = exps[1].get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs_b.len(), 1, "cache recall must not add a run record");
+    }
+
+    #[test]
+    fn manifest_off_means_no_document() {
+        let lab = Lab::new(Scale::smoke());
+        assert!(lab.manifest_json().is_none());
+    }
+
+    #[test]
+    fn csv_header_written_once_even_into_a_precreated_empty_file() {
+        let path = std::env::temp_dir().join(format!("mirza_lab_csv_{}.csv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Pre-created empty file, as a shell redirect would leave behind:
+        // the old `!path.exists()` probe never wrote the header here.
+        std::fs::write(&path, "").unwrap();
+        let mut lab = Lab::new(Scale::smoke());
+        lab.csv_path = Some(path.clone());
+        let _ = lab.run(MitigationConfig::None, "lbm");
+        let _ = lab.run(MitigationConfig::None, "bc");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let headers = text
+            .lines()
+            .filter(|l| *l == SimReport::csv_header())
+            .count();
+        assert_eq!(headers, 1, "exactly one header:\n{text}");
+        assert_eq!(text.lines().count(), 3, "header + two data rows");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -15,8 +15,8 @@
 //!   (`--smoke`, `--fast`, `--full`).
 
 pub mod analytic;
-pub mod extensions;
 pub mod attacks_exp;
 pub mod experiments;
+pub mod extensions;
 pub mod lab;
 pub mod scale;

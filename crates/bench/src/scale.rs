@@ -12,6 +12,7 @@ use mirza_core::config::MirzaConfig;
 use mirza_dram::geometry::Geometry;
 use mirza_dram::time::Ps;
 use mirza_sim::config::{MitigationConfig, SimConfig};
+use mirza_telemetry::Json;
 use mirza_workloads::spec::all_workload_names;
 
 /// A consistent scaling of the evaluation setup.
@@ -108,12 +109,22 @@ impl Scale {
         cfg
     }
 
+    /// Serializes the scale for run manifests.
+    pub fn to_json(&self) -> Json {
+        let workloads: Vec<Json> = self.workloads.iter().map(|w| Json::from(*w)).collect();
+        let mut doc = Json::obj();
+        doc.push("shrink", self.shrink)
+            .push("instructions", self.instructions)
+            .push("workloads", workloads)
+            .push("seed", self.seed);
+        doc
+    }
+
     /// The worst-case ACTs per bank per (scaled) tREFW — the paper's 621K
     /// at shrink = 1.
     pub fn worst_case_acts_per_refw(&self) -> f64 {
         let t = mirza_dram::timing::TimingParams::ddr5_6000();
-        let per_interval =
-            (t.t_refi.as_ps() - t.t_rfc.as_ps()) as f64 / t.t_rc.as_ps() as f64;
+        let per_interval = (t.t_refi.as_ps() - t.t_rfc.as_ps()) as f64 / t.t_rc.as_ps() as f64;
         let refs = self.t_refw().as_ps() / t.t_refi.as_ps();
         per_interval * refs as f64
     }
@@ -163,6 +174,16 @@ mod tests {
         assert_eq!(cfg.llc_sets, 512);
         assert_eq!(cfg.footprint_divisor, 32);
         assert_eq!(cfg.t_refw, Some(Ps::from_ms(1)));
+    }
+
+    #[test]
+    fn scale_serializes_for_manifests() {
+        let j = Scale::smoke().to_json();
+        assert_eq!(j.get("shrink").unwrap().as_u64(), Some(64));
+        assert_eq!(j.get("instructions").unwrap().as_u64(), Some(400_000));
+        let ws = j.get("workloads").unwrap().as_arr().unwrap();
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].as_str(), Some("lbm"));
     }
 
     #[test]

@@ -116,7 +116,9 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let mut m = MintSampler::new(12, seed);
-            (0..1000u32).filter_map(|i| m.observe(i)).collect::<Vec<_>>()
+            (0..1000u32)
+                .filter_map(|i| m.observe(i))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));

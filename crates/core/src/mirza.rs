@@ -7,6 +7,7 @@ use mirza_dram::address::{RegionMap, RowMapping};
 use mirza_dram::geometry::Geometry;
 use mirza_dram::mitigation::{MitigationLog, MitigationStats, Mitigator, RefreshSlice};
 use mirza_dram::time::Ps;
+use mirza_telemetry::{Json, Telemetry};
 
 use crate::config::{MirzaConfig, BLAST_RADIUS};
 use crate::mint::MintSampler;
@@ -35,6 +36,7 @@ pub struct Mirza {
     stats: MitigationStats,
     alert: bool,
     log: MitigationLog,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Mirza {
@@ -83,12 +85,7 @@ impl Mirza {
         Self::build(cfg, geom, seed, None)
     }
 
-    fn build(
-        cfg: MirzaConfig,
-        geom: &Geometry,
-        seed: u64,
-        rct: Option<RegionCountTable>,
-    ) -> Self {
+    fn build(cfg: MirzaConfig, geom: &Geometry, seed: u64, rct: Option<RegionCountTable>) -> Self {
         let banks = geom.banks_per_subchannel() as usize;
         let mapping = RowMapping::for_geometry(cfg.mapping, geom);
         let mint = (0..banks)
@@ -106,6 +103,7 @@ impl Mirza {
             stats: MitigationStats::default(),
             alert: false,
             log: MitigationLog::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -148,7 +146,7 @@ impl Mitigator for Mirza {
         }
     }
 
-    fn on_activate(&mut self, bank: usize, row: u32, _now: Ps) {
+    fn on_activate(&mut self, bank: usize, row: u32, now: Ps) {
         self.stats.acts_observed += 1;
         let decision = match self.rct.as_mut() {
             Some(rct) => rct.observe(bank, self.mapping.phys_of(row)),
@@ -160,10 +158,37 @@ impl Mitigator for Mirza {
             }
             FilterDecision::Candidate => {
                 self.stats.acts_candidate += 1;
+                let qth = self.cfg.qth;
                 let q = &mut self.queues[bank];
-                if q.bump(row).is_none() {
-                    if let Some(selected) = self.mint[bank].observe(row) {
-                        q.insert(selected);
+                match q.bump(row) {
+                    Some(count) => {
+                        // The first count past QTH is the tardiness expiry
+                        // that warrants an ALERT for this entry.
+                        if count == qth + 1 {
+                            self.telemetry.event(
+                                now.as_ps(),
+                                "tardiness_expiry",
+                                &[
+                                    ("bank", Json::U64(bank as u64)),
+                                    ("row", Json::U64(u64::from(row))),
+                                    ("count", Json::U64(u64::from(count))),
+                                ],
+                            );
+                        }
+                    }
+                    None => {
+                        if let Some(selected) = self.mint[bank].observe(row) {
+                            if !q.insert(selected) {
+                                self.telemetry.event(
+                                    now.as_ps(),
+                                    "mirzaq_overflow",
+                                    &[
+                                        ("bank", Json::U64(bank as u64)),
+                                        ("row", Json::U64(u64::from(selected))),
+                                    ],
+                                );
+                            }
+                        }
                     }
                 }
                 if self.queues[bank].wants_alert() {
@@ -190,7 +215,12 @@ impl Mitigator for Mirza {
             self.stats.alerts_requested += 1;
         }
         for (bank, q) in self.queues.iter_mut().enumerate() {
+            let occupancy = q.len() as u64;
             if let Some(entry) = q.pop_max() {
+                self.telemetry
+                    .observe("mirzaq.occupancy_at_drain", occupancy);
+                self.telemetry
+                    .observe("mirzaq.tardiness_at_drain", u64::from(entry.count));
                 self.stats.mitigations += 1;
                 self.stats.victim_rows_refreshed +=
                     self.mapping.neighbors(entry.row, BLAST_RADIUS).len() as u64;
@@ -210,6 +240,10 @@ impl Mitigator for Mirza {
 
     fn drain_mitigations(&mut self) -> Vec<(usize, u32)> {
         self.log.drain()
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

@@ -127,13 +127,12 @@ impl RegionCountTable {
     /// region boundary cannot see `2*FTH` unfiltered aggressor ACTs.
     pub fn observe(&mut self, bank: usize, phys: u32) -> FilterDecision {
         let region = self.regions.region_of_phys(phys);
-        let effective = if self.policy == ResetPolicy::Safe
-            && self.region_in_refresh == Some(region)
-        {
-            self.rrc[bank]
-        } else {
-            self.counter(bank, region)
-        };
+        let effective =
+            if self.policy == ResetPolicy::Safe && self.region_in_refresh == Some(region) {
+                self.rrc[bank]
+            } else {
+                self.counter(bank, region)
+            };
         if effective <= self.fth {
             self.bump(bank, region);
             if let Some(adj) = self.regions.adjacent_region_of_edge(phys) {
@@ -221,7 +220,7 @@ mod tests {
             assert_eq!(r.observe(0, 5), FilterDecision::Candidate);
         }
         assert_eq!(r.counter(0, 0), 11); // saturated at FTH+1
-        // Other bank unaffected.
+                                         // Other bank unaffected.
         assert_eq!(r.counter(1, 0), 0);
     }
 

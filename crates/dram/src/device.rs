@@ -19,6 +19,7 @@ use crate::refresh::RefreshPointer;
 use crate::stats::DeviceStats;
 use crate::time::Ps;
 use crate::timing::TimingParams;
+use mirza_telemetry::{Json, Telemetry};
 
 use crate::bank::BankState;
 
@@ -63,6 +64,7 @@ pub struct Subchannel {
     /// stayed open longer than tRAS charges the tracker additional
     /// activation-equivalents, one per extra tRAS of open time.
     rowpress_weighting: bool,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Subchannel {
@@ -105,9 +107,16 @@ impl Subchannel {
             act_hist: vec![0; hist],
             metrics_mapping,
             rowpress_weighting: false,
+            telemetry: Telemetry::disabled(),
             timing,
             geom,
         }
+    }
+
+    /// Attaches a telemetry handle (cloned down into the mitigator).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.mitigator.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Enables RowPress weighting: long row-open times are converted into
@@ -370,6 +379,13 @@ impl Subchannel {
                 self.stats.demand_refresh_rows +=
                     u64::from(self.geom.rows_per_ref) * self.banks.len() as u64;
                 let slice = self.ref_ptr.advance();
+                if slice.phys_rows.start == 0 && slice.index > 0 {
+                    self.telemetry.event(
+                        now.as_ps(),
+                        "refresh_pointer_wrap",
+                        &[("ref_index", Json::U64(slice.index))],
+                    );
+                }
                 self.mitigator.on_ref(&slice, now);
                 Issued {
                     data_ready: None,
@@ -423,12 +439,18 @@ mod tests {
     fn act_read_precharge_cycle() {
         let mut sc = sc();
         let t = sc.timing().clone();
-        let act = Command::Act { bank: bank(0), row: 42 };
+        let act = Command::Act {
+            bank: bank(0),
+            row: 42,
+        };
         assert_eq!(sc.earliest(&act), Some(Ps::ZERO));
         sc.issue(act, Ps::ZERO);
         assert_eq!(sc.open_row(bank(0)), Some(42));
 
-        let rd = Command::Rd { bank: bank(0), col: 3 };
+        let rd = Command::Rd {
+            bank: bank(0),
+            col: 3,
+        };
         let e = sc.earliest(&rd).unwrap();
         assert_eq!(e, t.t_rcd);
         let out = sc.issue(rd, e);
@@ -447,9 +469,18 @@ mod tests {
     fn trrd_separates_acts_across_banks() {
         let mut sc = sc();
         let t = sc.timing().clone();
-        sc.issue(Command::Act { bank: bank(0), row: 1 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 1,
+            },
+            Ps::ZERO,
+        );
         let e = sc
-            .earliest(&Command::Act { bank: bank(1), row: 1 })
+            .earliest(&Command::Act {
+                bank: bank(1),
+                row: 1,
+            })
             .unwrap();
         assert_eq!(e, t.t_rrd);
     }
@@ -460,13 +491,19 @@ mod tests {
         let t = sc.timing().clone();
         let mut now = Ps::ZERO;
         for i in 0..4 {
-            let cmd = Command::Act { bank: bank(i), row: 1 };
+            let cmd = Command::Act {
+                bank: bank(i),
+                row: 1,
+            };
             now = sc.earliest(&cmd).unwrap().max(now);
             sc.issue(cmd, now);
         }
         // The 5th ACT must wait for the first + tFAW.
         let e = sc
-            .earliest(&Command::Act { bank: bank(4), row: 1 })
+            .earliest(&Command::Act {
+                bank: bank(4),
+                row: 1,
+            })
             .unwrap();
         assert!(e >= t.t_faw, "5th ACT at {e} < tFAW {}", t.t_faw);
     }
@@ -478,7 +515,10 @@ mod tests {
         let e = sc.earliest(&Command::Ref).unwrap();
         let out = sc.issue(Command::Ref, e);
         assert_eq!(out.busy_until, Some(e + t.t_rfc));
-        let act = Command::Act { bank: bank(0), row: 7 };
+        let act = Command::Act {
+            bank: bank(0),
+            row: 7,
+        };
         assert_eq!(sc.earliest(&act), Some(e + t.t_rfc));
         assert_eq!(sc.stats().refs, 1);
         assert_eq!(
@@ -490,7 +530,13 @@ mod tests {
     #[test]
     fn ref_illegal_with_open_bank() {
         let mut sc = sc();
-        sc.issue(Command::Act { bank: bank(0), row: 1 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 1,
+            },
+            Ps::ZERO,
+        );
         assert_eq!(sc.earliest(&Command::Ref), None);
     }
 
@@ -500,14 +546,23 @@ mod tests {
         let t = sc.timing().clone();
         let mut now = Ps::ZERO;
         for i in 0..2 {
-            let cmd = Command::Act { bank: bank(i), row: 1 };
+            let cmd = Command::Act {
+                bank: bank(i),
+                row: 1,
+            };
             now = sc.earliest(&cmd).unwrap().max(now);
             sc.issue(cmd, now);
         }
-        let rd0 = Command::Rd { bank: bank(0), col: 0 };
+        let rd0 = Command::Rd {
+            bank: bank(0),
+            col: 0,
+        };
         let e0 = sc.earliest(&rd0).unwrap();
         sc.issue(rd0, e0);
-        let rd1 = Command::Rd { bank: bank(1), col: 0 };
+        let rd1 = Command::Rd {
+            bank: bank(1),
+            col: 0,
+        };
         let e1 = sc.earliest(&rd1).unwrap();
         assert!(e1 >= e0 + t.t_ccd);
     }
@@ -516,7 +571,13 @@ mod tests {
     fn act_histogram_uses_metrics_mapping() {
         let mut sc = sc();
         // Strided mapping: row 5 lives in subarray 5.
-        sc.issue(Command::Act { bank: bank(0), row: 5 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 5,
+            },
+            Ps::ZERO,
+        );
         let hist = sc.acts_per_subarray();
         assert_eq!(hist[5], 1);
         assert_eq!(hist.iter().sum::<u64>(), 1);
@@ -526,8 +587,20 @@ mod tests {
     #[should_panic(expected = "time order")]
     fn out_of_order_issue_panics() {
         let mut sc = sc();
-        sc.issue(Command::Act { bank: bank(0), row: 1 }, Ps::from_ns(100));
-        sc.issue(Command::Act { bank: bank(1), row: 1 }, Ps::from_ns(50));
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 1,
+            },
+            Ps::from_ns(100),
+        );
+        sc.issue(
+            Command::Act {
+                bank: bank(1),
+                row: 1,
+            },
+            Ps::from_ns(50),
+        );
     }
 
     #[test]
@@ -535,7 +608,13 @@ mod tests {
         let mut sc = sc();
         sc.set_rowpress_weighting(true);
         let t = sc.timing().clone();
-        sc.issue(Command::Act { bank: bank(0), row: 7 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 7,
+            },
+            Ps::ZERO,
+        );
         // Hold the row open for ~5x tRAS before closing.
         let close_at = t.t_ras * 5;
         sc.issue(Command::Pre { bank: bank(0) }, close_at);
@@ -548,7 +627,13 @@ mod tests {
     fn rowpress_disabled_by_default() {
         let mut sc = sc();
         let t = sc.timing().clone();
-        sc.issue(Command::Act { bank: bank(0), row: 7 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 7,
+            },
+            Ps::ZERO,
+        );
         sc.issue(Command::Pre { bank: bank(0) }, t.t_ras * 5);
         assert_eq!(sc.stats().rowpress_equiv_acts, 0);
         assert_eq!(sc.mitigation_stats().acts_observed, 1);
@@ -559,7 +644,13 @@ mod tests {
         let mut sc = sc();
         sc.set_rowpress_weighting(true);
         let t = sc.timing().clone();
-        sc.issue(Command::Act { bank: bank(0), row: 7 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 7,
+            },
+            Ps::ZERO,
+        );
         sc.issue(Command::Pre { bank: bank(0) }, t.t_ras);
         assert_eq!(sc.stats().rowpress_equiv_acts, 0);
     }
@@ -567,7 +658,13 @@ mod tests {
     #[test]
     fn null_mitigator_never_alerts() {
         let mut sc = sc();
-        sc.issue(Command::Act { bank: bank(0), row: 1 }, Ps::ZERO);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 1,
+            },
+            Ps::ZERO,
+        );
         assert!(!sc.alert_asserted());
     }
 }

@@ -97,8 +97,7 @@ mod tests {
         let m = EnergyModel::ddr5();
         // Zero elapsed -> no background.
         let nj = m.total_nj(&stats(), 0, Ps::ZERO);
-        let expect =
-            (100.0 * 2000.0 + 300.0 * 1100.0 + 100.0 * 1200.0 + 1000.0 * 250.0) / 1000.0;
+        let expect = (100.0 * 2000.0 + 300.0 * 1100.0 + 100.0 * 1200.0 + 1000.0 * 250.0) / 1000.0;
         assert!((nj - expect).abs() < 1e-9, "{nj} vs {expect}");
     }
 

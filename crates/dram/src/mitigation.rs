@@ -9,6 +9,7 @@
 
 use crate::address::RowMapping;
 use crate::time::Ps;
+use mirza_telemetry::Telemetry;
 
 /// Description of the rows refreshed by one REF command (the refresh-pointer
 /// walk position). The same physical rows are refreshed in *every* bank.
@@ -146,6 +147,11 @@ pub trait Mitigator {
     fn drain_mitigations(&mut self) -> Vec<(usize, u32)> {
         Vec::new()
     }
+
+    /// Hands the tracker a telemetry handle so it can record engine-internal
+    /// metrics (MIRZA-Q occupancy, tardiness, overflows). Trackers without
+    /// internal state to report ignore it.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 }
 
 /// The unprotected baseline: observes nothing, mitigates nothing.

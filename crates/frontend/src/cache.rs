@@ -102,8 +102,8 @@ impl SetAssocCache {
                     .min_by_key(|&i| self.stamp[i])
                     .expect("ways is non-zero")
             });
-        let writeback = (self.tags[victim] != u64::MAX && self.dirty[victim])
-            .then_some(self.tags[victim]);
+        let writeback =
+            (self.tags[victim] != u64::MAX && self.dirty[victim]).then_some(self.tags[victim]);
         self.tags[victim] = line;
         self.stamp[victim] = self.tick;
         self.dirty[victim] = write;

@@ -97,7 +97,12 @@ impl std::fmt::Debug for Core {
 impl Core {
     /// Creates a core that executes `trace` until `target_instr`
     /// instructions retire.
-    pub fn new(id: u32, params: CoreParams, trace: Box<dyn AccessStream>, target_instr: u64) -> Self {
+    pub fn new(
+        id: u32,
+        params: CoreParams,
+        trace: Box<dyn AccessStream>,
+        target_instr: u64,
+    ) -> Self {
         Core {
             id,
             params,
@@ -141,8 +146,8 @@ impl Core {
     /// instructions not yet converted to whole cycles is charged here, so
     /// IPC never exceeds the pipeline width).
     pub fn ipc(&self) -> f64 {
-        let residual_ps =
-            self.params.cycle.as_ps() as f64 * f64::from(self.residual) / f64::from(self.params.width);
+        let residual_ps = self.params.cycle.as_ps() as f64 * f64::from(self.residual)
+            / f64::from(self.params.width);
         let elapsed = self.time.as_ps() as f64 + residual_ps;
         if elapsed == 0.0 {
             0.0

@@ -3,11 +3,11 @@
 
 use proptest::prelude::*;
 
+use mirza_dram::time::Ps;
 use mirza_frontend::cache::{CacheOutcome, SetAssocCache};
 use mirza_frontend::core::{AccessResult, Core, CoreParams};
 use mirza_frontend::paging::PageAllocator;
 use mirza_frontend::trace::{TraceOp, VecStream};
-use mirza_dram::time::Ps;
 
 proptest! {
     /// Immediately re-accessing any line hits, whatever came before.

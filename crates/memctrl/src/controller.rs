@@ -8,6 +8,7 @@ use mirza_dram::address::BankId;
 use mirza_dram::command::Command;
 use mirza_dram::device::Subchannel;
 use mirza_dram::time::Ps;
+use mirza_telemetry::{Json, Telemetry};
 
 use crate::request::{AccessKind, Completion, McStats, Request};
 
@@ -55,6 +56,10 @@ pub struct MemController {
     /// Instant the current ALERT was observed, if one is being serviced.
     alert_observed_at: Option<Ps>,
     stats: McStats,
+    telemetry: Telemetry,
+    /// Length of the current streak of row-buffer hits (for the
+    /// `mc.row_hit_run` histogram; flushed when a miss/conflict breaks it).
+    hit_run: u64,
 }
 
 impl std::fmt::Debug for MemController {
@@ -79,7 +84,24 @@ impl MemController {
             now: Ps::ZERO,
             alert_observed_at: None,
             stats: McStats::default(),
+            telemetry: Telemetry::disabled(),
+            hit_run: 0,
             device,
+        }
+    }
+
+    /// Attaches a telemetry handle (cloned down into the device and its
+    /// mitigator). Both sub-channel controllers share one handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.device.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// Flushes end-of-run telemetry state (the trailing row-hit streak).
+    pub fn finish_telemetry(&mut self) {
+        if self.hit_run > 0 {
+            self.telemetry.observe("mc.row_hit_run", self.hit_run);
+            self.hit_run = 0;
         }
     }
 
@@ -118,6 +140,10 @@ impl MemController {
             needed_act: false,
             needed_pre: false,
         });
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .observe("mc.queue_occupancy", self.pending_requests() as u64);
+        }
     }
 
     fn bank_id(&self, flat: usize) -> BankId {
@@ -159,8 +185,14 @@ impl MemController {
                 // Row hits anywhere in the queue are served first (FR-FCFS).
                 if let Some(hit) = q.iter().find(|x| x.req.addr.row == row) {
                     let cmd = match hit.req.kind {
-                        AccessKind::Read => Command::Rd { bank, col: hit.req.addr.col },
-                        AccessKind::Write => Command::Wr { bank, col: hit.req.addr.col },
+                        AccessKind::Read => Command::Rd {
+                            bank,
+                            col: hit.req.addr.col,
+                        },
+                        AccessKind::Write => Command::Wr {
+                            bank,
+                            col: hit.req.addr.col,
+                        },
                     };
                     if let Some(e) = self.device.earliest(&cmd) {
                         consider(Candidate {
@@ -185,7 +217,10 @@ impl MemController {
             } else {
                 // Bank closed: activate for the oldest request.
                 let head = &q[0];
-                let cmd = Command::Act { bank, row: head.req.addr.row };
+                let cmd = Command::Act {
+                    bank,
+                    row: head.req.addr.row,
+                };
                 if let Some(e) = self.device.earliest(&cmd) {
                     consider(Candidate {
                         cmd,
@@ -231,8 +266,8 @@ impl MemController {
         }
         // 3. Demand traffic until refresh is due (plus any postponement
         // budget). Postponed REFs are repaid back-to-back afterwards.
-        let ref_deadline = self.device.next_ref_due().max(self.now)
-            + t.t_refi * u64::from(self.cfg.postpone_refs);
+        let ref_deadline =
+            self.device.next_ref_due().max(self.now) + t.t_refi * u64::from(self.cfg.postpone_refs);
         if let Some(c) = self.best_demand() {
             if c.at < ref_deadline {
                 return Some((c.cmd, c.at));
@@ -267,6 +302,8 @@ impl MemController {
                 break;
             }
             self.now = at;
+            self.telemetry
+                .trace_line(|| trace_line(self.subch, &cmd, at));
             match cmd {
                 Command::Rd { bank, col } | Command::Wr { bank, col } => {
                     let flat = bank.flat_in_subchannel(self.device.geometry());
@@ -286,16 +323,32 @@ impl MemController {
                     } else {
                         self.stats.row_hits += 1;
                     }
+                    if self.telemetry.is_enabled() {
+                        if q.needed_pre || q.needed_act {
+                            self.finish_telemetry();
+                        } else {
+                            self.hit_run += 1;
+                        }
+                    }
                     match q.req.kind {
                         AccessKind::Read => {
                             self.stats.reads_done += 1;
-                            self.stats.read_latency_ps +=
-                                (done - q.req.arrival).as_ps();
-                            out.push(Completion { id: q.req.id, done_at: done });
+                            self.stats.read_latency_ps += (done - q.req.arrival).as_ps();
+                            self.telemetry.observe(
+                                "mc.read_latency_ns",
+                                (done - q.req.arrival).as_ps() / 1000,
+                            );
+                            out.push(Completion {
+                                id: q.req.id,
+                                done_at: done,
+                            });
                         }
                         AccessKind::Write => {
                             self.stats.writes_done += 1;
-                            out.push(Completion { id: q.req.id, done_at: at });
+                            out.push(Completion {
+                                id: q.req.id,
+                                done_at: at,
+                            });
                         }
                     }
                 }
@@ -322,10 +375,27 @@ impl MemController {
                 Command::Rfm { alert } => {
                     self.device.issue(cmd, at);
                     if alert {
-                        self.alert_observed_at = None;
+                        if let Some(t0) = self.alert_observed_at.take() {
+                            let stall = at - t0;
+                            self.telemetry
+                                .observe("mc.alert_stall_ns", stall.as_ps() / 1000);
+                            self.telemetry.event(
+                                at.as_ps(),
+                                "alert_cleared",
+                                &[
+                                    ("subch", Json::U64(u64::from(self.subch))),
+                                    ("stall_ns", Json::U64(stall.as_ps() / 1000)),
+                                ],
+                            );
+                        }
                         self.stats.alerts_serviced += 1;
                     } else {
                         self.stats.rfms_issued += 1;
+                        self.telemetry.event(
+                            at.as_ps(),
+                            "rfm_issued",
+                            &[("subch", Json::U64(u64::from(self.subch)))],
+                        );
                         for c in &mut self.raa {
                             *c = 0;
                         }
@@ -335,8 +405,36 @@ impl MemController {
             // Sample the ALERT line after every command.
             if self.alert_observed_at.is_none() && self.device.alert_asserted() {
                 self.alert_observed_at = Some(self.now);
+                self.telemetry.event(
+                    self.now.as_ps(),
+                    "alert_raised",
+                    &[("subch", Json::U64(u64::from(self.subch)))],
+                );
             }
         }
+    }
+}
+
+/// One DRAMSim3-style command-trace line: `<t_ps> <CMD> sc<n> [location]`.
+fn trace_line(subch: u32, cmd: &Command, at: Ps) -> String {
+    let t = at.as_ps();
+    match *cmd {
+        Command::Act { bank, row } => {
+            format!("{t} ACT sc{subch} ra{} ba{} row{row}", bank.rank, bank.bank)
+        }
+        Command::Pre { bank } => {
+            format!("{t} PRE sc{subch} ra{} ba{}", bank.rank, bank.bank)
+        }
+        Command::PreAll => format!("{t} PREA sc{subch}"),
+        Command::Rd { bank, col } => {
+            format!("{t} RD sc{subch} ra{} ba{} col{col}", bank.rank, bank.bank)
+        }
+        Command::Wr { bank, col } => {
+            format!("{t} WR sc{subch} ra{} ba{} col{col}", bank.rank, bank.bank)
+        }
+        Command::Ref => format!("{t} REF sc{subch}"),
+        Command::Rfm { alert: true } => format!("{t} RFM-ABO sc{subch}"),
+        Command::Rfm { alert: false } => format!("{t} RFM sc{subch}"),
     }
 }
 
@@ -409,10 +507,7 @@ mod tests {
         // on its behalf) or a miss (already closed); either way it needed
         // an ACT.
         assert_eq!(mc.stats().row_hits, 0);
-        assert_eq!(
-            mc.stats().row_misses + mc.stats().row_conflicts,
-            2
-        );
+        assert_eq!(mc.stats().row_misses + mc.stats().row_conflicts, 2);
     }
 
     #[test]
@@ -435,17 +530,26 @@ mod tests {
             let mut out = Vec::new();
             mc.run_until(Ps::from_us(20), &mut out);
             assert_eq!(out.len(), 64);
-            (out.iter().map(|c| c.done_at).max().unwrap(), mc.device().stats().refs)
+            (
+                out.iter().map(|c| c.done_at).max().unwrap(),
+                mc.device().stats().refs,
+            )
         };
         let relaxed = {
-            let mut mc = mc(McConfig { postpone_refs: 4, ..McConfig::default() });
+            let mut mc = mc(McConfig {
+                postpone_refs: 4,
+                ..McConfig::default()
+            });
             for i in 0..64 {
                 mc.enqueue(read(i, (i % 8) as u32, i as u32 * 3, 0, 3800));
             }
             let mut out = Vec::new();
             mc.run_until(Ps::from_us(20), &mut out);
             assert_eq!(out.len(), 64);
-            (out.iter().map(|c| c.done_at).max().unwrap(), mc.device().stats().refs)
+            (
+                out.iter().map(|c| c.done_at).max().unwrap(),
+                mc.device().stats().refs,
+            )
         };
         // The burst lands right at the first REF due time (3.9 us): with
         // postponement the batch finishes no later, and the REF debt is
@@ -456,7 +560,10 @@ mod tests {
 
     #[test]
     fn proactive_rfm_fires_at_bat() {
-        let mut mc = mc(McConfig { rfm_bat: Some(4), ..McConfig::default() });
+        let mut mc = mc(McConfig {
+            rfm_bat: Some(4),
+            ..McConfig::default()
+        });
         // 8 conflicting reads to one bank -> 8 ACTs -> 2 RFMs.
         for i in 0..8 {
             mc.enqueue(read(i, 0, i as u32 * 7, 0, 0));

@@ -131,7 +131,10 @@ mod tests {
             let prac = prac_attack_slowdown(&t(), trhd / 16);
             let rfm = mint_rfm_attack_slowdown(&t(), bat);
             let mirza = mirza_attack_slowdown(&t(), w);
-            assert!(prac < rfm && rfm < mirza, "TRHD {trhd}: {prac} {rfm} {mirza}");
+            assert!(
+                prac < rfm && rfm < mirza,
+                "TRHD {trhd}: {prac} {rfm} {mirza}"
+            );
         }
     }
 

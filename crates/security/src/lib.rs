@@ -17,20 +17,20 @@
 //!   relative area model.
 
 pub mod area;
-pub mod mint_model;
-pub mod power;
 pub mod dos;
+pub mod mint_model;
 pub mod montecarlo;
+pub mod power;
 pub mod proactive;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::mint_model::{escape_probability, monte_carlo_max_run};
-    pub use crate::power::{mirza_sram_power_fraction, refresh_power_overhead};
     pub use crate::area::{table10, table10_row, AreaRow};
     pub use crate::dos::{
         mint_rfm_attack_slowdown, mirza_attack_slowdown, prac_attack_slowdown, table11, Table11Row,
     };
+    pub use crate::mint_model::{escape_probability, monte_carlo_max_run};
     pub use crate::montecarlo::{run_hammer, AttackOutcome, HammerHarness};
+    pub use crate::power::{mirza_sram_power_fraction, refresh_power_overhead};
     pub use crate::proactive::{table2, Table2Row};
 }

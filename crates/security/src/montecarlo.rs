@@ -372,7 +372,7 @@ mod tests {
     }
 
     #[test]
-    fn reset_policy_attack_breaks_eager_but_not_safe(){
+    fn reset_policy_attack_breaks_eager_but_not_safe() {
         // Appendix B: hammer the target FTH-1 times just before the
         // region's first REF and FTH-1 times during the walk. Eager reset
         // double-counts the budget; safe reset (RRC) does not.
@@ -401,7 +401,7 @@ mod tests {
             h.burst(&mut p, (fth - 1) - 4 * ((fth - 1) / 4));
             h.idle_interval(); // step 319
             h.idle_interval(); // step 320: the region's first REF (reset)
-            // Phase 2: FTH-1 ACTs while the region is being walked.
+                               // Phase 2: FTH-1 ACTs while the region is being walked.
             for _ in 0..8 {
                 h.burst(&mut p, (fth - 1) / 8);
                 h.idle_interval();

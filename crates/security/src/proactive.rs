@@ -110,7 +110,12 @@ mod tests {
         let expect = [1500.0, 2900.0, 5800.0, 11600.0];
         for (row, e) in rows.iter().zip(expect) {
             let rel = (row.mint_trhd - e).abs() / e;
-            assert!(rel < 0.03, "rate {}: {} vs {e}", row.refs_per_mitigation, row.mint_trhd);
+            assert!(
+                rel < 0.03,
+                "rate {}: {} vs {e}",
+                row.refs_per_mitigation,
+                row.mint_trhd
+            );
         }
     }
 

@@ -11,6 +11,7 @@ use mirza_dram::time::Ps;
 use mirza_dram::timing::TimingParams;
 use mirza_frontend::core::CoreParams;
 use mirza_memctrl::controller::McConfig;
+use mirza_telemetry::Json;
 use mirza_trackers::mint_ref::MintRef;
 use mirza_trackers::mint_rfm::MintRfm;
 use mirza_trackers::mithril::Mithril;
@@ -188,6 +189,9 @@ pub struct SimConfig {
     /// RowPress weighting: convert long row-open times into activation
     /// equivalents charged to the tracker (Section II-A).
     pub rowpress: bool,
+    /// Progress heartbeat: print a status line every this many retired
+    /// instructions (`None` = silent).
+    pub heartbeat_every: Option<u64>,
 }
 
 impl SimConfig {
@@ -206,6 +210,7 @@ impl SimConfig {
             footprint_divisor: 1,
             t_refw: None,
             rowpress: false,
+            heartbeat_every: None,
         }
     }
 
@@ -216,6 +221,41 @@ impl SimConfig {
             t.t_refw = w;
         }
         t
+    }
+
+    /// Serializes the full configuration for run manifests.
+    pub fn to_json(&self) -> Json {
+        let g = &self.geometry;
+        let mut geom = Json::obj();
+        geom.push("subchannels", g.subchannels)
+            .push("ranks", g.ranks)
+            .push("banks", g.banks)
+            .push("rows_per_bank", g.rows_per_bank)
+            .push("row_bytes", g.row_bytes)
+            .push("line_bytes", g.line_bytes)
+            .push("subarrays_per_bank", g.subarrays_per_bank)
+            .push("rows_per_ref", g.rows_per_ref);
+        let t = self.timing();
+        let mut doc = Json::obj();
+        doc.push("mitigation", self.mitigation.label())
+            .push("geometry", geom)
+            .push("cores", self.cores)
+            .push("instructions_per_core", self.instructions_per_core)
+            .push(
+                "metrics_mapping",
+                match self.metrics_mapping {
+                    MappingScheme::Strided => "strided",
+                    MappingScheme::Sequential => "sequential",
+                },
+            )
+            .push("seed", self.seed)
+            .push("quantum_ps", self.quantum.as_ps())
+            .push("llc_sets", self.llc_sets)
+            .push("footprint_divisor", self.footprint_divisor)
+            .push("t_refi_ps", t.t_refi.as_ps())
+            .push("t_refw_ps", t.t_refw.as_ps())
+            .push("rowpress", self.rowpress);
+        doc
     }
 }
 
@@ -251,7 +291,10 @@ mod tests {
                 "mirza",
             ),
             (
-                MitigationConfig::MirzaNaive { mint_w: 48, queue: 4 },
+                MitigationConfig::MirzaNaive {
+                    mint_w: 48,
+                    queue: 4,
+                },
                 "mirza-naive",
             ),
             (MitigationConfig::MintRfm { bat: 48 }, "mint-rfm"),

@@ -4,6 +4,7 @@ use mirza_dram::mitigation::MitigationStats;
 use mirza_dram::stats::DeviceStats;
 use mirza_dram::time::Ps;
 use mirza_memctrl::request::McStats;
+use mirza_telemetry::Json;
 
 /// Aggregated result of one simulation run.
 #[derive(Debug, Clone)]
@@ -34,6 +35,9 @@ pub struct SimReport {
     pub t_refi: Ps,
     /// tREFW of the run (for per-window subarray statistics).
     pub t_refw: Ps,
+    /// Sub-channels the device/controller counters were summed over
+    /// (from the geometry; used to normalize per-sub-channel metrics).
+    pub subchannels: u32,
 }
 
 impl SimReport {
@@ -82,8 +86,9 @@ impl SimReport {
         if self.elapsed == Ps::ZERO {
             0.0
         } else {
-            // bus_busy_ps was summed over 2 sub-channels.
-            100.0 * self.device.bus_busy_ps as f64 / (2.0 * self.elapsed.as_ps() as f64)
+            // bus_busy_ps was summed over all sub-channels.
+            let subch = f64::from(self.subchannels.max(1));
+            100.0 * self.device.bus_busy_ps as f64 / (subch * self.elapsed.as_ps() as f64)
         }
     }
 
@@ -93,8 +98,9 @@ impl SimReport {
             0.0
         } else {
             let trefis = self.elapsed.as_ps() as f64 / self.t_refi.as_ps() as f64;
-            // Alerts were summed over 2 sub-channels.
-            self.device.alerts as f64 / 2.0 / trefis * 100.0
+            // Alerts were summed over all sub-channels.
+            let subch = f64::from(self.subchannels.max(1));
+            self.device.alerts as f64 / subch / trefis * 100.0
         }
     }
 
@@ -147,6 +153,59 @@ impl SimReport {
         )
     }
 
+    /// Serializes the report for run manifests: raw counters plus the
+    /// derived metrics the paper's tables quote.
+    pub fn to_json(&self) -> Json {
+        let (sa_mean, sa_sd) = self.acts_per_subarray_per_trefw();
+        let mut doc = Json::obj();
+        doc.push("label", self.label.as_str())
+            .push("workload", self.workload.as_str())
+            .push(
+                "core_ipc",
+                Json::Arr(self.core_ipc.iter().map(|&v| Json::F64(v)).collect()),
+            )
+            .push("instructions", self.instructions)
+            .push("elapsed_ps", self.elapsed.as_ps())
+            .push("subchannels", self.subchannels)
+            .push("acts", self.device.acts)
+            .push("pres", self.device.pres)
+            .push("reads", self.device.reads)
+            .push("writes", self.device.writes)
+            .push("refs", self.device.refs)
+            .push("rfms_proactive", self.device.rfms_proactive)
+            .push("rfms_alert", self.device.rfms_alert)
+            .push("alerts", self.device.alerts)
+            .push("demand_refresh_rows", self.device.demand_refresh_rows)
+            .push("acts_observed", self.mitigation.acts_observed)
+            .push("acts_filtered", self.mitigation.acts_filtered)
+            .push("acts_candidate", self.mitigation.acts_candidate)
+            .push("mitigations", self.mitigation.mitigations)
+            .push(
+                "victim_rows_refreshed",
+                self.mitigation.victim_rows_refreshed,
+            )
+            .push("alerts_requested", self.mitigation.alerts_requested)
+            .push("row_hits", self.mc.row_hits)
+            .push("row_misses", self.mc.row_misses)
+            .push("row_conflicts", self.mc.row_conflicts)
+            .push("reads_done", self.mc.reads_done)
+            .push("writes_done", self.mc.writes_done)
+            .push("llc_hits", self.llc_hits)
+            .push("llc_misses", self.llc_misses)
+            .push("mpki", self.mpki())
+            .push("act_pki", self.act_pki())
+            .push("bus_utilization_pct", self.bus_utilization_pct())
+            .push("alerts_per_100_trefi", self.alerts_per_100_trefi())
+            .push(
+                "refresh_power_overhead_pct",
+                self.refresh_power_overhead_pct(),
+            )
+            .push("mitigation_rate", self.mitigation_rate())
+            .push("acts_per_subarray_per_trefw_mean", sa_mean)
+            .push("acts_per_subarray_per_trefw_sd", sa_sd);
+        doc
+    }
+
     /// Mean and standard deviation of ACTs per subarray per tREFW
     /// (Table IV's last column, Figure 6), scaled linearly when the run is
     /// shorter than one refresh window.
@@ -186,6 +245,7 @@ mod tests {
             llc_misses: 25_000,
             t_refi: Ps::from_ns(3900),
             t_refw: Ps::from_ms(32),
+            subchannels: 2,
         }
     }
 
@@ -230,5 +290,31 @@ mod tests {
         r.elapsed = Ps::from_ns(3900 * 100); // 100 tREFI
         r.device.alerts = 4; // 2 per sub-channel
         assert!((r.alerts_per_100_trefi() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_subchannel_metrics_use_configured_count() {
+        let mut r = report(vec![1.0]);
+        r.elapsed = Ps::from_ns(3900 * 100);
+        r.device.alerts = 4;
+        r.device.bus_busy_ps = r.elapsed.as_ps(); // one sub-channel's worth
+        let two_sc = (r.alerts_per_100_trefi(), r.bus_utilization_pct());
+        r.subchannels = 1;
+        let one_sc = (r.alerts_per_100_trefi(), r.bus_utilization_pct());
+        assert!((one_sc.0 - 2.0 * two_sc.0).abs() < 1e-9);
+        assert!((one_sc.1 - 2.0 * two_sc.1).abs() < 1e-9);
+        assert!((one_sc.1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let mut r = report(vec![1.5, 2.0]);
+        r.device.acts = 123;
+        let doc = r.to_json();
+        assert_eq!(doc.get("acts").unwrap().as_u64(), Some(123));
+        assert_eq!(doc.get("subchannels").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("core_ipc").unwrap().as_arr().unwrap().len(), 2);
+        let text = doc.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
     }
 }

@@ -8,6 +8,7 @@ use mirza_workloads::spec::{MixSpec, WorkloadSpec, TABLE4_MIXES};
 use mirza_workloads::synth::SyntheticWorkload;
 
 use mirza_dram::address::{BankId, DramAddr};
+use mirza_telemetry::Telemetry;
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
@@ -57,11 +58,19 @@ pub fn build_traces(
 
 /// Runs one Table-IV workload under `cfg` and returns the report.
 pub fn run_workload(cfg: &SimConfig, workload: &str) -> SimReport {
+    run_workload_with(cfg, workload, Telemetry::disabled())
+}
+
+/// [`run_workload`] with a telemetry handle attached to the whole stack
+/// (controllers, devices, mitigation engine).
+pub fn run_workload_with(cfg: &SimConfig, workload: &str, telemetry: Telemetry) -> SimReport {
     let setups = build_traces(workload, cfg.cores, cfg.seed, cfg.footprint_divisor)
         .into_iter()
         .map(|t| CoreSetup::benign(t, cfg.instructions_per_core))
         .collect();
-    System::new(cfg.clone(), workload, setups).run()
+    let mut system = System::new(cfg.clone(), workload, setups);
+    system.set_telemetry(telemetry);
+    system.run()
 }
 
 /// Converts a row-level attack pattern on `bank` into an uncached,
@@ -93,8 +102,8 @@ pub fn run_with_attacker(
     let mut setups: Vec<CoreSetup> =
         build_traces(workload, cfg.cores - 1, cfg.seed, cfg.footprint_divisor)
             .into_iter()
-        .map(|t| CoreSetup::benign(t, cfg.instructions_per_core))
-        .collect();
+            .map(|t| CoreSetup::benign(t, cfg.instructions_per_core))
+            .collect();
     setups.push(CoreSetup::attacker(attack_stream(cfg, bank, pattern)));
     System::new(cfg.clone(), &format!("{workload}+attack"), setups).run()
 }

@@ -15,6 +15,7 @@ use mirza_frontend::trace::AccessStream;
 use mirza_memctrl::controller::MemController;
 use mirza_memctrl::mapping::AddressMapper;
 use mirza_memctrl::request::{AccessKind, Completion, McStats, Request};
+use mirza_telemetry::{Heartbeat, Telemetry};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
@@ -70,6 +71,7 @@ pub struct System {
     token_owner: HashMap<u64, usize>,
     next_token: u64,
     issued_this_pass: bool,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for System {
@@ -132,8 +134,18 @@ impl System {
             token_owner: HashMap::new(),
             next_token: 1,
             issued_this_pass: false,
+            telemetry: Telemetry::disabled(),
             cfg,
         }
+    }
+
+    /// Attaches a telemetry handle, cloned down through both memory
+    /// controllers into the devices and their mitigation engines.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for mc in &mut self.mcs {
+            mc.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 
     fn enqueue(&mut self, pa: u64, kind: AccessKind, now: Ps, owner: Option<usize>) -> u64 {
@@ -185,6 +197,7 @@ impl System {
         let mut completions: Vec<Completion> = Vec::new();
         let mut cores = std::mem::take(&mut self.cores);
         let mut idle_quanta = 0u32;
+        let mut heartbeat = self.cfg.heartbeat_every.map(Heartbeat::new);
         while !cores
             .iter()
             .zip(&self.required)
@@ -225,9 +238,18 @@ impl System {
                     "system deadlocked: no progress for 1M quanta"
                 );
             }
+            if let Some(hb) = heartbeat.as_mut() {
+                let retired = cores.iter().map(Core::instructions).sum();
+                if let Some(line) = hb.tick(retired, t_end.as_ps()) {
+                    eprintln!("{line}");
+                }
+            }
             t_end += quantum;
         }
         self.cores = cores;
+        for mc in &mut self.mcs {
+            mc.finish_telemetry();
+        }
         self.build_report()
     }
 
@@ -276,6 +298,18 @@ impl System {
             .map(|(c, _)| c.time())
             .max()
             .unwrap_or(Ps::ZERO);
+        if self.telemetry.is_enabled() {
+            for &acts in &hist {
+                self.telemetry.observe("dram.acts_per_subarray", acts);
+            }
+            let llc_total = self.llc.hits() + self.llc.misses();
+            if llc_total > 0 {
+                self.telemetry
+                    .set_gauge("llc.hit_rate", self.llc.hits() as f64 / llc_total as f64);
+            }
+            self.telemetry
+                .set_gauge("sim.elapsed_ms", elapsed.as_ps() as f64 / 1e9);
+        }
         SimReport {
             label: self.cfg.mitigation.label(),
             workload: self.workload.clone(),
@@ -296,6 +330,7 @@ impl System {
             llc_misses: self.llc.misses(),
             t_refi: timing.t_refi,
             t_refw: timing.t_refw,
+            subchannels: self.cfg.geometry.subchannels,
         }
     }
 }
@@ -321,7 +356,9 @@ mod tests {
     #[test]
     fn baseline_system_completes() {
         let cfg = SimConfig::new(MitigationConfig::None, 20_000);
-        let setups = (0..2).map(|_| CoreSetup::benign(stream(2_000), 20_000)).collect();
+        let setups = (0..2)
+            .map(|_| CoreSetup::benign(stream(2_000), 20_000))
+            .collect();
         let mut sys = System::new(cfg, "unit", setups);
         let r = sys.run();
         assert_eq!(r.core_ipc.len(), 2);
@@ -349,10 +386,7 @@ mod tests {
                     is_store: false,
                 })
                 .collect();
-            let setups = vec![CoreSetup::benign(
-                Box::new(VecStream::once(ops)),
-                10_000,
-            )];
+            let setups = vec![CoreSetup::benign(Box::new(VecStream::once(ops)), 10_000)];
             let mut sys = System::new(cfg, "conflicts", setups);
             sys.run()
         };

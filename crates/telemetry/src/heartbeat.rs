@@ -1,0 +1,73 @@
+//! Progress heartbeat: periodic one-line status while a long run executes.
+
+use std::time::Instant;
+
+/// Emits a formatted progress line every `every` retired instructions.
+#[derive(Debug)]
+pub struct Heartbeat {
+    every: u64,
+    next_at: u64,
+    started: Instant,
+}
+
+impl Heartbeat {
+    /// A heartbeat firing every `every` instructions (clamped to >= 1).
+    pub fn new(every: u64) -> Self {
+        let every = every.max(1);
+        Heartbeat {
+            every,
+            next_at: every,
+            started: Instant::now(),
+        }
+    }
+
+    /// Called with cumulative progress; returns a line to print when the
+    /// next threshold has been crossed, else `None`.
+    pub fn tick(&mut self, instructions: u64, sim_ps: u64) -> Option<String> {
+        if instructions < self.next_at {
+            return None;
+        }
+        // Skip ahead past bursts so one tick never prints twice.
+        while self.next_at <= instructions {
+            self.next_at += self.every;
+        }
+        let wall = self.started.elapsed().as_secs_f64();
+        let minstr = instructions as f64 / 1e6;
+        let rate = if wall > 0.0 { minstr / wall } else { 0.0 };
+        Some(format!(
+            "[hb] {minstr:.1} Minstr retired | {:.3} ms simulated | {rate:.2} Minstr/s",
+            sim_ps as f64 / 1e9,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_at_thresholds() {
+        let mut hb = Heartbeat::new(1_000_000);
+        assert!(hb.tick(500_000, 1).is_none());
+        let line = hb.tick(1_000_000, 2_000_000_000).unwrap();
+        assert!(line.contains("1.0 Minstr"), "{line}");
+        assert!(line.contains("2.000 ms"), "{line}");
+        assert!(hb.tick(1_500_000, 3).is_none());
+        assert!(hb.tick(2_000_000, 4).is_some());
+    }
+
+    #[test]
+    fn burst_past_several_thresholds_prints_once() {
+        let mut hb = Heartbeat::new(100);
+        assert!(hb.tick(1000, 0).is_some());
+        assert!(hb.tick(1000, 0).is_none());
+        assert!(hb.tick(1099, 0).is_none());
+        assert!(hb.tick(1100, 0).is_some());
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        let mut hb = Heartbeat::new(0);
+        assert!(hb.tick(1, 0).is_some());
+    }
+}

@@ -1,0 +1,278 @@
+//! Dependency-free telemetry for the MIRZA simulator stack.
+//!
+//! Three concerns live here, all hand-rolled because the build environment
+//! has no crates.io access (no serde, no tracing):
+//!
+//! * **Metrics** — a [`Registry`] of named counters, gauges, and
+//!   log2-bucketed [`Histogram`]s with p50/p90/p99 summaries.
+//! * **Traces** — an [`EventSink`] emitting one JSON object per rare
+//!   episode (ALERT raised/cleared, RFM, queue overflow, ...) and a
+//!   [`TraceSink`] emitting a DRAMSim3-style per-command text trace.
+//! * **Manifests** — the [`Json`] value type plus writer/parser used by the
+//!   bench layer to emit one machine-readable document per experiment run.
+//!
+//! The whole layer is reached through one cheap handle, [`Telemetry`]:
+//! a disabled handle is a `None` and every recording method is a single
+//! branch, so the simulator's hot path pays nothing when observability is
+//! off. The simulator is single-threaded, so the enabled handle is an
+//! `Rc<RefCell<Recorder>>` clone shared by every component.
+
+pub mod heartbeat;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+pub use heartbeat::Heartbeat;
+pub use histogram::{Histogram, Summary};
+pub use json::Json;
+pub use registry::Registry;
+pub use sink::{EventSink, SharedBuf, TraceSink};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Everything one enabled telemetry session accumulates.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Named counters, gauges, histograms.
+    pub registry: Registry,
+    /// Structured JSONL event sink, when attached.
+    pub events: Option<EventSink>,
+    /// Per-command text trace sink, when attached.
+    pub trace: Option<TraceSink>,
+    /// Events seen per kind — counted even with no sink attached, so
+    /// manifests can report episode counts without paying for I/O.
+    pub event_counts: BTreeMap<String, u64>,
+}
+
+/// Cheap, cloneable handle to a telemetry session.
+///
+/// `Telemetry::disabled()` costs one `Option` check per call site;
+/// `Telemetry::enabled()` records into a shared [`Recorder`]. Components
+/// must not hold a borrow of the recorder across calls into other
+/// components — each method here borrows and releases within the call.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Rc<RefCell<Recorder>>>,
+}
+
+impl Telemetry {
+    /// A no-op handle: every method is one branch and returns immediately.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A recording handle with metrics only (no sinks).
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Rc::new(RefCell::new(Recorder::default()))),
+        }
+    }
+
+    /// Attaches a structured-event sink (JSONL).
+    pub fn with_events(self, sink: EventSink) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().events = Some(sink);
+        }
+        self
+    }
+
+    /// Attaches a per-command text trace sink.
+    pub fn with_trace(self, sink: TraceSink) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().trace = Some(sink);
+        }
+        self
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether a per-command trace sink is attached (callers skip building
+    /// trace strings entirely when not).
+    pub fn is_tracing(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.borrow().trace.is_some())
+    }
+
+    /// Adds `by` to a named counter.
+    pub fn inc(&self, name: &'static str, by: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.inc(name, by);
+        }
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&self, name: &'static str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.observe(name, v);
+        }
+    }
+
+    /// Sets a named gauge.
+    pub fn set_gauge(&self, name: &'static str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.set_gauge(name, v);
+        }
+    }
+
+    /// Records a structured event: counted always, written to the event
+    /// sink when one is attached. `fields` are only built by the caller
+    /// when enabled — guard with [`Telemetry::is_enabled`] if building
+    /// them is not free.
+    pub fn event(&self, t_ps: u64, kind: &str, fields: &[(&str, Json)]) {
+        if let Some(inner) = &self.inner {
+            let mut rec = inner.borrow_mut();
+            *rec.event_counts.entry(kind.to_string()).or_insert(0) += 1;
+            if let Some(sink) = rec.events.as_mut() {
+                sink.emit(t_ps, kind, fields);
+            }
+        }
+    }
+
+    /// Writes one command-trace line; `line` is only invoked when a trace
+    /// sink is attached, so the hot path never formats.
+    pub fn trace_line(&self, line: impl FnOnce() -> String) {
+        if let Some(inner) = &self.inner {
+            let mut rec = inner.borrow_mut();
+            if let Some(sink) = rec.trace.as_mut() {
+                let text = line();
+                sink.line(&text);
+            }
+        }
+    }
+
+    /// Runs `f` with the recorder (no-op when disabled). For reads at
+    /// report time, not for the hot path.
+    pub fn with_recorder<R>(&self, f: impl FnOnce(&mut Recorder) -> R) -> Option<R> {
+        self.inner.as_ref().map(|i| f(&mut i.borrow_mut()))
+    }
+
+    /// Snapshot of a counter value (0 when disabled or never set).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.borrow().registry.counter(name))
+    }
+
+    /// Snapshot of a histogram's sample count.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |i| {
+            i.borrow().registry.histogram(name).map_or(0, |h| h.count())
+        })
+    }
+
+    /// Serializes the registry plus event counts (for manifests); `None`
+    /// when disabled.
+    pub fn to_json(&self) -> Option<Json> {
+        self.inner.as_ref().map(|i| {
+            let rec = i.borrow();
+            let mut doc = rec.registry.to_json();
+            let mut events = Json::obj();
+            for (kind, n) in &rec.event_counts {
+                events.push(kind, *n);
+            }
+            doc.push("events", events);
+            doc
+        })
+    }
+
+    /// Flushes any attached sinks.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let mut rec = inner.borrow_mut();
+            if let Some(sink) = rec.events.as_mut() {
+                sink.flush();
+            }
+            if let Some(sink) = rec.trace.as_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.is_tracing());
+        t.inc("c", 1);
+        t.observe("h", 10);
+        t.set_gauge("g", 1.0);
+        t.event(0, "x", &[]);
+        t.trace_line(|| panic!("must not format when disabled"));
+        assert_eq!(t.counter("c"), 0);
+        assert_eq!(t.histogram_count("h"), 0);
+        assert!(t.to_json().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        t.inc("c", 2);
+        u.inc("c", 3);
+        assert_eq!(t.counter("c"), 5);
+        u.observe("h", 9);
+        assert_eq!(t.histogram_count("h"), 1);
+    }
+
+    #[test]
+    fn events_counted_without_sink_and_written_with_one() {
+        let t = Telemetry::enabled();
+        t.event(1, "alert_raised", &[]);
+        let counts = t
+            .with_recorder(|r| r.event_counts.get("alert_raised").copied())
+            .unwrap();
+        assert_eq!(counts, Some(1));
+
+        let buf = SharedBuf::new();
+        let t = Telemetry::enabled().with_events(EventSink::new(buf.writer()));
+        t.event(7, "rfm", &[("bank", Json::U64(3))]);
+        t.flush();
+        let line = buf.contents();
+        let parsed = Json::parse(line.trim()).unwrap();
+        assert_eq!(parsed.get("t_ps").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("bank").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn trace_lines_only_format_when_sink_attached() {
+        let t = Telemetry::enabled();
+        assert!(!t.is_tracing());
+        t.trace_line(|| panic!("no sink attached"));
+
+        let buf = SharedBuf::new();
+        let t = Telemetry::enabled().with_trace(TraceSink::new(buf.writer()));
+        assert!(t.is_tracing());
+        t.trace_line(|| "100 ACT sc0 ba1 row2".to_string());
+        t.flush();
+        assert_eq!(buf.contents(), "100 ACT sc0 ba1 row2\n");
+    }
+
+    #[test]
+    fn to_json_includes_event_counts() {
+        let t = Telemetry::enabled();
+        t.inc("acts", 4);
+        t.event(0, "rfm", &[]);
+        t.event(1, "rfm", &[]);
+        let doc = t.to_json().unwrap();
+        assert_eq!(
+            doc.get("counters").unwrap().get("acts").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("events").unwrap().get("rfm").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+}

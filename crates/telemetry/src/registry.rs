@@ -1,0 +1,153 @@
+//! Named-metric registry: counters, gauges, and log2 histograms.
+//!
+//! Metric names are `&'static str` dotted paths (`"mc.read_latency_ns"`),
+//! stored in `BTreeMap`s so manifest output is deterministically ordered.
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Holds every named metric recorded during one simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (created at zero on first use).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn set_gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of histograms holding at least one sample.
+    pub fn nonzero_histograms(&self) -> usize {
+        self.histograms.values().filter(|h| h.count() > 0).count()
+    }
+
+    /// Serializes the whole registry: counters and gauges verbatim,
+    /// histograms as percentile summaries.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, v) in &self.counters {
+            counters.push(name, *v);
+        }
+        let mut gauges = Json::obj();
+        for (name, v) in &self.gauges {
+            gauges.push(name, *v);
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in &self.histograms {
+            let s = h.summary();
+            let mut o = Json::obj();
+            o.push("count", s.count)
+                .push("sum", Json::F64(s.sum as f64))
+                .push("min", s.min)
+                .push("max", s.max)
+                .push("mean", s.mean)
+                .push("p50", s.p50)
+                .push("p90", s.p90)
+                .push("p99", s.p99);
+            histograms.push(name, o);
+        }
+        let mut doc = Json::obj();
+        doc.push("counters", counters)
+            .push("gauges", gauges)
+            .push("histograms", histograms);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.inc("a.b", 2);
+        r.inc("a.b", 3);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.set_gauge("g", 1.0);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_record_and_list() {
+        let mut r = Registry::new();
+        r.observe("h.one", 10);
+        r.observe("h.one", 20);
+        r.observe("h.two", 5);
+        assert_eq!(r.histogram("h.one").unwrap().count(), 2);
+        assert_eq!(r.nonzero_histograms(), 2);
+        let names: Vec<_> = r.histograms().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["h.one", "h.two"]); // BTreeMap order
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = Registry::new();
+        r.inc("c", 7);
+        r.set_gauge("g", 0.5);
+        r.observe("h", 100);
+        let doc = r.to_json();
+        assert_eq!(
+            doc.get("counters").unwrap().get("c").unwrap().as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(0.5)
+        );
+        let h = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("p50").unwrap().as_f64(), Some(100.0));
+        // Round-trips through our own parser.
+        let text = doc.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+}

@@ -1,0 +1,150 @@
+//! Output sinks: JSONL structured events and DRAMSim3-style command traces.
+//!
+//! Both sinks write through `Box<dyn Write>` so callers can point them at
+//! files, stdout, or an in-memory buffer ([`SharedBuf`]) in tests. Sinks are
+//! only constructed when tracing is requested; the disabled path never
+//! allocates or formats.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Writes one JSON object per line for rare, structured events
+/// (ALERT raised/cleared, RFM issued, queue overflow, ...).
+pub struct EventSink {
+    out: Box<dyn Write>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink").finish_non_exhaustive()
+    }
+}
+
+impl EventSink {
+    /// A sink writing JSONL to `out`.
+    pub fn new(out: Box<dyn Write>) -> Self {
+        EventSink { out }
+    }
+
+    /// Emits `{"t_ps": <t>, "event": <kind>, ...fields}` on one line.
+    pub fn emit(&mut self, t_ps: u64, kind: &str, fields: &[(&str, Json)]) {
+        let mut doc = Json::obj();
+        doc.push("t_ps", t_ps).push("event", kind);
+        for (k, v) in fields {
+            doc.push(k, v.clone());
+        }
+        let _ = writeln!(self.out, "{}", doc.to_string_compact());
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes a per-command text trace, one line per DRAM command, in the
+/// DRAMSim3 spirit: `<t_ps> <command> <location>`.
+pub struct TraceSink {
+    out: Box<dyn Write>,
+    lines: u64,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    /// A sink writing text lines to `out`.
+    pub fn new(out: Box<dyn Write>) -> Self {
+        TraceSink { out, lines: 0 }
+    }
+
+    /// Writes one trace line (no trailing newline needed).
+    pub fn line(&mut self, text: &str) {
+        self.lines += 1;
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A shared in-memory buffer usable as a sink target in tests.
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A `Write` handle feeding this buffer.
+    pub fn writer(&self) -> Box<dyn Write> {
+        Box::new(SharedBuf(Rc::clone(&self.0)))
+    }
+
+    /// The buffer contents decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8(self.0.borrow().clone()).expect("sink output is utf-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_sink_writes_jsonl() {
+        let buf = SharedBuf::new();
+        let mut sink = EventSink::new(buf.writer());
+        sink.emit(100, "alert_raised", &[("subch", Json::U64(1))]);
+        sink.emit(250, "rfm", &[]);
+        sink.flush();
+        let lines: Vec<String> = buf.contents().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("t_ps").unwrap().as_u64(), Some(100));
+        assert_eq!(first.get("event").unwrap().as_str(), Some("alert_raised"));
+        assert_eq!(first.get("subch").unwrap().as_u64(), Some(1));
+        let second = Json::parse(&lines[1]).unwrap();
+        assert_eq!(second.get("event").unwrap().as_str(), Some("rfm"));
+    }
+
+    #[test]
+    fn trace_sink_counts_lines() {
+        let buf = SharedBuf::new();
+        let mut sink = TraceSink::new(buf.writer());
+        sink.line("100 ACT ch0 ba3 row42");
+        sink.line("250 RD ch0 ba3 col7");
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(
+            buf.contents(),
+            "100 ACT ch0 ba3 row42\n250 RD ch0 ba3 col7\n"
+        );
+    }
+}

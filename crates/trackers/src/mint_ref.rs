@@ -75,8 +75,7 @@ impl Mitigator for MintRef {
             if let Some(row) = self.reservoirs[bank].take() {
                 self.stats.mitigations += 1;
                 self.stats.ref_mitigations += 1;
-                self.stats.victim_rows_refreshed +=
-                    self.mapping.neighbors(row, 2).len() as u64;
+                self.stats.victim_rows_refreshed += self.mapping.neighbors(row, 2).len() as u64;
                 self.log.push(bank, row);
             }
         }

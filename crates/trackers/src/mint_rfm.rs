@@ -62,8 +62,7 @@ impl Mitigator for MintRfm {
         for bank in 0..self.reservoirs.len() {
             if let Some(row) = self.reservoirs[bank].take() {
                 self.stats.mitigations += 1;
-                self.stats.victim_rows_refreshed +=
-                    self.mapping.neighbors(row, 2).len() as u64;
+                self.stats.victim_rows_refreshed += self.mapping.neighbors(row, 2).len() as u64;
                 self.log.push(bank, row);
             }
         }

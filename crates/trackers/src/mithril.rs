@@ -27,18 +27,16 @@ impl Mithril {
     ///
     /// # Panics
     /// Panics if either parameter is zero.
-    pub fn new(
-        entries_per_bank: usize,
-        refs_per_mitigation: u64,
-        geom: &Geometry,
-    ) -> Self {
+    pub fn new(entries_per_bank: usize, refs_per_mitigation: u64, geom: &Geometry) -> Self {
         assert!(refs_per_mitigation > 0, "mitigation rate must be non-zero");
         let banks = geom.banks_per_subchannel() as usize;
         Mithril {
             entries_per_bank,
             refs_per_mitigation,
             mapping: RowMapping::for_geometry(MappingScheme::Sequential, geom),
-            tables: (0..banks).map(|_| SpaceSaving::new(entries_per_bank)).collect(),
+            tables: (0..banks)
+                .map(|_| SpaceSaving::new(entries_per_bank))
+                .collect(),
             refs_seen: 0,
             stats: MitigationStats::default(),
             log: MitigationLog::new(),
@@ -77,8 +75,7 @@ impl Mitigator for Mithril {
             if let Some(top) = self.tables[bank].pop_max() {
                 self.stats.mitigations += 1;
                 self.stats.ref_mitigations += 1;
-                self.stats.victim_rows_refreshed +=
-                    self.mapping.neighbors(top.row, 2).len() as u64;
+                self.stats.victim_rows_refreshed += self.mapping.neighbors(top.row, 2).len() as u64;
                 self.log.push(bank, top.row);
             }
         }

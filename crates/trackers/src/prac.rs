@@ -114,8 +114,7 @@ impl Mitigator for PracMoat {
                 debug_assert!(phys < self.rows_per_bank);
                 self.counters[bank][phys as usize] = 0;
             }
-            self.pending[bank]
-                .retain(|&r| u32::from(self.counters[bank][r as usize]) >= self.ath);
+            self.pending[bank].retain(|&r| u32::from(self.counters[bank][r as usize]) >= self.ath);
         }
     }
 

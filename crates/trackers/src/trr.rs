@@ -143,8 +143,7 @@ impl Mitigator for Trr {
             if let Some(top) = self.tables[bank].pop_max() {
                 self.stats.mitigations += 1;
                 self.stats.ref_mitigations += 1;
-                self.stats.victim_rows_refreshed +=
-                    self.mapping.neighbors(top.row, 2).len() as u64;
+                self.stats.victim_rows_refreshed += self.mapping.neighbors(top.row, 2).len() as u64;
                 self.log.push(bank, top.row);
             }
         }

@@ -221,7 +221,10 @@ mod tests {
         let rows = p.rows();
         let far_count = rows.iter().filter(|&&r| r == far_a).count();
         let near_count = rows.iter().filter(|&&r| r == near_a).count();
-        assert!(far_count >= 4 * near_count.max(1), "{far_count} vs {near_count}");
+        assert!(
+            far_count >= 4 * near_count.max(1),
+            "{far_count} vs {near_count}"
+        );
     }
 
     #[test]

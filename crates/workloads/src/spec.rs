@@ -91,11 +91,22 @@ pub struct MixSpec {
 pub static TABLE4_MIXES: &[MixSpec] = &[
     MixSpec {
         name: "mix_1",
-        cores: ["mcf", "lbm", "bc", "omnetpp", "fotonik3d", "xz", "cc", "parest"],
+        cores: [
+            "mcf",
+            "lbm",
+            "bc",
+            "omnetpp",
+            "fotonik3d",
+            "xz",
+            "cc",
+            "parest",
+        ],
     },
     MixSpec {
         name: "mix_2",
-        cores: ["bwaves", "mcf", "cc", "roms", "lbm", "parest", "bfs", "omnetpp"],
+        cores: [
+            "bwaves", "mcf", "cc", "roms", "lbm", "parest", "bfs", "omnetpp",
+        ],
     },
     MixSpec {
         name: "mix_3",
@@ -103,15 +114,42 @@ pub static TABLE4_MIXES: &[MixSpec] = &[
     },
     MixSpec {
         name: "mix_4",
-        cores: ["omnetpp", "xz", "lbm", "cactuBSSN", "fotonik3d", "cam4", "mcf", "roms"],
+        cores: [
+            "omnetpp",
+            "xz",
+            "lbm",
+            "cactuBSSN",
+            "fotonik3d",
+            "cam4",
+            "mcf",
+            "roms",
+        ],
     },
     MixSpec {
         name: "mix_5",
-        cores: ["lbm", "fotonik3d", "omnetpp", "mcf", "xz", "xalancbmk", "cam4", "cc"],
+        cores: [
+            "lbm",
+            "fotonik3d",
+            "omnetpp",
+            "mcf",
+            "xz",
+            "xalancbmk",
+            "cam4",
+            "cc",
+        ],
     },
     MixSpec {
         name: "mix_6",
-        cores: ["parest", "lbm", "roms", "fotonik3d", "bfs", "omnetpp", "mcf", "xz"],
+        cores: [
+            "parest",
+            "lbm",
+            "roms",
+            "fotonik3d",
+            "bfs",
+            "omnetpp",
+            "mcf",
+            "xz",
+        ],
     },
 ];
 

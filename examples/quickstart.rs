@@ -77,7 +77,10 @@ fn main() {
             .collect::<Vec<_>>(),
         baseline.device.acts
     );
-    println!("  MIRZA:    {:+.2}% slowdown", mirza.slowdown_pct(&baseline));
+    println!(
+        "  MIRZA:    {:+.2}% slowdown",
+        mirza.slowdown_pct(&baseline)
+    );
     println!(
         "  PRAC:     {:+.2}% slowdown (inflated tRP/tRC, zero ALERTs)",
         prac.slowdown_pct(&baseline)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Splice measured fast-mode numbers from repro_fast_output.txt into
+"""Splice measured fast-mode numbers from results/repro_fast_output.txt into
 EXPERIMENTS.md (replaces the MEASURED_* placeholders).
 
 Usage: python3 scripts/update_experiments.py
@@ -9,7 +9,7 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-OUT = ROOT / "repro_fast_output.txt"
+OUT = ROOT / "results" / "repro_fast_output.txt"
 EXP = ROOT / "EXPERIMENTS.md"
 
 

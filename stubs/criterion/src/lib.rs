@@ -1,0 +1,120 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `criterion` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). Benches compile and run; each `bench_function` executes
+//! its closure `sample_size` times and prints a mean wall-clock duration —
+//! enough for coarse regression spotting, with none of criterion's
+//! statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (subset: `bench_function`, `sample_size`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many times each benchmark closure runs.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` `sample_size` times and prints the mean duration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean = if b.iters > 0 {
+            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+        println!("bench {id:<24} {mean:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Accepts (and ignores) criterion CLI arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// No-op in the stub (real criterion writes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times one closure invocation per `iter` call.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs and times `f` once, accumulating into the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a bench group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iters() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+}

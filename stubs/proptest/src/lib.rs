@@ -1,0 +1,143 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `proptest` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It implements the surface the MIRZA test suite uses:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(pat in strategy, ...)`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * integer/float range strategies, `any::<T>()`, tuple strategies,
+//!   `proptest::collection::vec` and `proptest::option::of`.
+//!
+//! Differences from real proptest: case generation is deterministic (seeded
+//! from the test name), there is no shrinking, and failures panic
+//! immediately like plain `assert!`. The default case count is 64 and can be
+//! overridden with the `PROPTEST_CASES` environment variable.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Number of generated cases per property (env `PROPTEST_CASES` overrides).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(elem, len_range)`: vectors of `elem` samples.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s of an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(inner)`: `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The conventional glob import, mirroring real proptest.
+pub mod prelude {
+    /// Alias so `prop::option::of(...)` etc. resolve, as in real proptest.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Wraps property functions into plain `#[test]`s with deterministic
+/// case generation (no shrinking; failures panic immediately).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            // `#[test]` arrives as one of the captured attributes.
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($($strat,)+);
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::cases() {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` with proptest spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` with proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` with proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the rest of the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}

@@ -95,11 +95,23 @@ fn naive_mirza_queue_size_one_is_catastrophic() {
     let instr = 200_000;
     let base = run_workload(&scaled(MitigationConfig::None, instr), "lbm");
     let q1 = run_workload(
-        &scaled(MitigationConfig::MirzaNaive { mint_w: 24, queue: 1 }, instr),
+        &scaled(
+            MitigationConfig::MirzaNaive {
+                mint_w: 24,
+                queue: 1,
+            },
+            instr,
+        ),
         "lbm",
     );
     let q4 = run_workload(
-        &scaled(MitigationConfig::MirzaNaive { mint_w: 24, queue: 4 }, instr),
+        &scaled(
+            MitigationConfig::MirzaNaive {
+                mint_w: 24,
+                queue: 4,
+            },
+            instr,
+        ),
         "lbm",
     );
     let s1 = q1.slowdown_pct(&base);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <experiment|all> [--smoke|--fast|--full] [--seed N] [--csv FILE]
-//!       [--json FILE] [--list] [--quiet]
+//!       [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit]
+//!       [--strict-audit] [--compare BASELINE.json] [--list] [--quiet]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
@@ -14,15 +15,25 @@
 //! `--fast` (default) runs the self-consistent 1/16-scaled setup; `--full`
 //! runs the paper-scale configuration (hours); `--smoke` is a seconds-long
 //! sanity pass over three workloads.
+//!
+//! Probe flags: `--epochs NS` samples registered metrics every NS simulated
+//! nanoseconds into per-run JSONL streams (`--epoch-dir`, default
+//! `epochs/`); `--audit` attaches the independent DDR5 protocol auditor
+//! (`--strict-audit` additionally fails the run on any violation);
+//! `--compare BASELINE.json` re-runs the named experiments and exits
+//! nonzero if the deterministic manifest sections diverge from the
+//! baseline.
 
 use std::process::ExitCode;
 
 use mirza_bench::analytic;
 use mirza_bench::attacks_exp;
+use mirza_bench::compare::compare_manifests;
 use mirza_bench::experiments;
 use mirza_bench::extensions;
 use mirza_bench::lab::Lab;
 use mirza_bench::scale::Scale;
+use mirza_telemetry::Json;
 
 const SIM_EXPERIMENTS: &[&str] = &[
     // Ordered so the cheapest, highest-value experiments complete first;
@@ -78,7 +89,8 @@ fn run_experiment(name: &str, lab: &mut Lab) -> Option<String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <experiment|all|ablations> [--smoke|--fast|--full] [--seed N] \
-         [--csv FILE] [--json FILE] [--list] [--quiet]\n\
+         [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
+         [--strict-audit] [--compare BASELINE.json] [--list] [--quiet]\n\
          experiments: {} {} {} {}",
         ANALYTIC_EXPERIMENTS.join(" "),
         SIM_EXPERIMENTS.join(" "),
@@ -113,6 +125,11 @@ fn main() -> ExitCode {
     let mut verbose = true;
     let mut csv: Option<std::path::PathBuf> = None;
     let mut json: Option<std::path::PathBuf> = None;
+    let mut epochs_ns: Option<u64> = None;
+    let mut epoch_dir: Option<std::path::PathBuf> = None;
+    let mut audit = false;
+    let mut strict_audit = false;
+    let mut compare: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -121,8 +138,21 @@ fn main() -> ExitCode {
             "--full" => scale = Scale::full(),
             "--quiet" => verbose = false,
             "--list" => return list_experiments(),
+            "--audit" => audit = true,
+            "--strict-audit" => {
+                audit = true;
+                strict_audit = true;
+            }
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => scale.seed = s,
+                None => return usage(),
+            },
+            "--epochs" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ns) if ns > 0 => epochs_ns = Some(ns),
+                _ => return usage(),
+            },
+            "--epoch-dir" => match it.next() {
+                Some(p) => epoch_dir = Some(std::path::PathBuf::from(p)),
                 None => return usage(),
             },
             "--csv" => match it.next() {
@@ -131,6 +161,10 @@ fn main() -> ExitCode {
             },
             "--json" => match it.next() {
                 Some(p) => json = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--compare" => match it.next() {
+                Some(p) => compare = Some(std::path::PathBuf::from(p)),
                 None => return usage(),
             },
             name if !name.starts_with('-') && target.is_none() => {
@@ -145,12 +179,17 @@ fn main() -> ExitCode {
     let mut lab = Lab::new(scale);
     lab.verbose = verbose;
     lab.csv_path = csv;
+    lab.epoch_ps = epochs_ns.map(|ns| ns.saturating_mul(1_000));
+    if let Some(dir) = epoch_dir {
+        lab.epoch_dir = dir;
+    }
+    lab.audit = audit;
     if verbose {
         // One status line roughly every 10 M retired instructions keeps
         // paper-scale runs observably alive without flooding fast mode.
         lab.heartbeat_every = Some(10_000_000);
     }
-    if json.is_some() {
+    if json.is_some() || compare.is_some() {
         lab.enable_manifest();
     }
     let names: Vec<&str> = if target == "all" {
@@ -181,6 +220,47 @@ fn main() -> ExitCode {
         }
         if verbose {
             eprintln!("wrote manifest {}", path.display());
+        }
+    }
+    if strict_audit && !lab.audit_failures().is_empty() {
+        eprintln!("error: protocol audit failed:");
+        for (key, count) in lab.audit_failures() {
+            eprintln!("  {key}: {count} violation(s)");
+        }
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = compare {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("error: cannot parse baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let current = lab.manifest_json().expect("manifest mode is on");
+        let diffs = compare_manifests(&baseline, &current);
+        if !diffs.is_empty() {
+            eprintln!(
+                "error: {} difference(s) vs baseline {}:",
+                diffs.len(),
+                path.display()
+            );
+            for d in diffs.iter().take(50) {
+                eprintln!("  {d}");
+            }
+            if diffs.len() > 50 {
+                eprintln!("  ... and {} more", diffs.len() - 50);
+            }
+            return ExitCode::FAILURE;
+        }
+        if verbose {
+            eprintln!("manifest matches baseline {}", path.display());
         }
     }
     ExitCode::SUCCESS

@@ -9,7 +9,7 @@ use mirza_core::rct::ResetPolicy;
 use mirza_sim::config::{MitigationConfig, SimConfig};
 use mirza_sim::report::SimReport;
 use mirza_sim::runner::run_workload_with;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{EpochSampler, Json, Telemetry};
 
 use crate::scale::Scale;
 
@@ -23,6 +23,16 @@ pub struct Lab {
     pub csv_path: Option<std::path::PathBuf>,
     /// Progress heartbeat period in retired instructions (`None` = silent).
     pub heartbeat_every: Option<u64>,
+    /// Epoch sampling period in picoseconds (`None` = sampler off). Each
+    /// simulated run leaves `epochs_<label>_<workload>.jsonl` in
+    /// [`Lab::epoch_dir`] and a per-series summary in the manifest.
+    pub epoch_ps: Option<u64>,
+    /// Directory for epoch JSONL streams (created on demand).
+    pub epoch_dir: std::path::PathBuf,
+    /// Attach the independent DDR5 protocol auditor to every run.
+    pub audit: bool,
+    /// Runs that flagged protocol violations, as `(run key, count)`.
+    audit_failures: Vec<(String, u64)>,
     /// Per-experiment run records, collected when manifest mode is on.
     manifest: Option<Vec<(String, Vec<Json>)>>,
 }
@@ -36,6 +46,10 @@ impl Lab {
             verbose: false,
             csv_path: None,
             heartbeat_every: None,
+            epoch_ps: None,
+            epoch_dir: std::path::PathBuf::from("epochs"),
+            audit: false,
+            audit_failures: Vec::new(),
             manifest: None,
         }
     }
@@ -65,6 +79,12 @@ impl Lab {
         report: &SimReport,
         telemetry: &Telemetry,
     ) {
+        // Probe sections are gathered before the manifest borrow; each is
+        // attached only when its collector ran, so probe-off manifests stay
+        // byte-compatible with earlier versions.
+        let epochs = telemetry.epochs_summary_json();
+        let host_profile = telemetry.profile_json();
+        let audit_violations = cfg.audit.then(|| telemetry.counter("audit.violations"));
         let Some(groups) = &mut self.manifest else {
             return;
         };
@@ -77,6 +97,15 @@ impl Lab {
             .push("config", cfg.to_json())
             .push("report", report.to_json())
             .push("telemetry", telemetry.to_json().unwrap_or(Json::Null));
+        if let Some(e) = epochs {
+            run.push("epochs", e);
+        }
+        if let Some(h) = host_profile {
+            run.push("host_profile", h);
+        }
+        if let Some(v) = audit_violations {
+            run.push("audit_violations", v);
+        }
         groups
             .last_mut()
             .expect("just ensured non-empty")
@@ -112,11 +141,41 @@ impl Lab {
         std::fs::write(path, doc.to_string_pretty() + "\n")
     }
 
+    /// Rotates `path` to `path.old` when its first line is not the current
+    /// [`SimReport::csv_header`]: appending rows to a file written by an
+    /// older binary would silently shift every column under the stale
+    /// header.
+    fn rotate_stale_csv(path: &std::path::Path) {
+        use std::io::BufRead as _;
+        let Ok(f) = std::fs::File::open(path) else {
+            return; // absent (or unreadable): the append path handles it
+        };
+        let mut first = String::new();
+        if std::io::BufReader::new(f).read_line(&mut first).is_err() {
+            return;
+        }
+        let first = first.trim_end_matches(['\r', '\n']);
+        if first.is_empty() || first == SimReport::csv_header() {
+            return;
+        }
+        let mut old = path.as_os_str().to_os_string();
+        old.push(".old");
+        match std::fs::rename(path, &old) {
+            Ok(()) => eprintln!(
+                "warning: {} had a stale CSV header; rotated to {}",
+                path.display(),
+                std::path::Path::new(&old).display()
+            ),
+            Err(e) => eprintln!("warning: cannot rotate stale CSV {}: {e}", path.display()),
+        }
+    }
+
     fn append_csv(&self, report: &SimReport) {
         use std::io::Write as _;
         let Some(path) = &self.csv_path else {
             return;
         };
+        Self::rotate_stale_csv(path);
         let Ok(mut f) = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -145,7 +204,9 @@ impl Lab {
         self.scale.workloads.clone()
     }
 
-    /// Runs (or recalls) `workload` under `mitigation`.
+    /// Runs (or recalls) `workload` under `mitigation`. Probe collectors
+    /// (epoch sampler, host profiler, protocol auditor) attach only to
+    /// fresh simulations — cache recalls return the memoized report.
     pub fn run(&mut self, mitigation: MitigationConfig, workload: &str) -> SimReport {
         let key = format!("{}/{workload}", mitigation.label());
         if let Some(r) = self.cache.get(&key) {
@@ -156,16 +217,56 @@ impl Lab {
         }
         let mut cfg = self.scale.sim_config(mitigation);
         cfg.heartbeat_every = self.heartbeat_every;
-        let telemetry = if self.manifest.is_some() {
+        cfg.audit = self.audit;
+        let probing = self.epoch_ps.is_some() || self.audit;
+        let mut telemetry = if self.manifest.is_some() || probing {
             Telemetry::enabled()
         } else {
             Telemetry::disabled()
         };
+        if let Some(ps) = self.epoch_ps {
+            telemetry = telemetry.with_epochs(EpochSampler::new(ps));
+        }
+        if self.manifest.is_some() {
+            telemetry = telemetry.with_profiler();
+        }
         let report = run_workload_with(&cfg, workload, telemetry.clone());
+        if cfg.audit {
+            let violations = telemetry.counter("audit.violations");
+            if violations > 0 {
+                eprintln!("warning: {key}: {violations} protocol violation(s) flagged");
+                self.audit_failures.push((key.clone(), violations));
+            }
+        }
+        self.write_epoch_stream(&key, &telemetry);
         self.record_run(&mitigation.label(), workload, &cfg, &report, &telemetry);
         self.append_csv(&report);
         self.cache.insert(key, report.clone());
         report
+    }
+
+    /// Runs that the protocol auditor flagged, as `(mitigation/workload,
+    /// violation count)` pairs. Empty when auditing is off or clean.
+    pub fn audit_failures(&self) -> &[(String, u64)] {
+        &self.audit_failures
+    }
+
+    fn write_epoch_stream(&self, key: &str, telemetry: &Telemetry) {
+        let Some(jsonl) = telemetry.epochs_jsonl() else {
+            return;
+        };
+        let name: String = format!("epochs_{key}.jsonl")
+            .chars()
+            .map(|c| if c == '/' || c == ' ' { '-' } else { c })
+            .collect();
+        let path = self.epoch_dir.join(name);
+        let write =
+            std::fs::create_dir_all(&self.epoch_dir).and_then(|()| std::fs::write(&path, jsonl));
+        if let Err(e) = write {
+            eprintln!("warning: cannot write epoch stream {}: {e}", path.display());
+        } else if self.verbose {
+            eprintln!("  wrote {}", path.display());
+        }
     }
 
     /// The unprotected baseline report for `workload`.
@@ -281,6 +382,72 @@ mod tests {
     fn manifest_off_means_no_document() {
         let lab = Lab::new(Scale::smoke());
         assert!(lab.manifest_json().is_none());
+    }
+
+    #[test]
+    fn stale_csv_header_rotates_old_file_aside() {
+        let path = std::env::temp_dir().join(format!("mirza_lab_stale_{}.csv", std::process::id()));
+        let old = std::path::PathBuf::from(format!("{}.old", path.display()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&old);
+        std::fs::write(&path, "ancient,header,layout\n1,2,3\n").unwrap();
+        let mut lab = Lab::new(Scale::smoke());
+        lab.csv_path = Some(path.clone());
+        let _ = lab.run(MitigationConfig::None, "lbm");
+        let rotated = std::fs::read_to_string(&old).expect("stale file rotated to .old");
+        assert!(rotated.starts_with("ancient,header,layout"));
+        let fresh = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(fresh.lines().next(), Some(SimReport::csv_header()));
+        assert_eq!(fresh.lines().count(), 2, "header + one data row");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&old);
+    }
+
+    #[test]
+    fn matching_csv_header_is_not_rotated() {
+        let path = std::env::temp_dir().join(format!("mirza_lab_keep_{}.csv", std::process::id()));
+        let old = std::path::PathBuf::from(format!("{}.old", path.display()));
+        let _ = std::fs::remove_file(&old);
+        let mut lab = Lab::new(Scale::smoke());
+        lab.csv_path = Some(path.clone());
+        let _ = lab.run(MitigationConfig::None, "lbm");
+        let _ = lab.run(MitigationConfig::None, "bc");
+        assert!(
+            !old.exists(),
+            "current-header file must be appended, not rotated"
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "header + two data rows");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn probe_sections_land_in_the_manifest() {
+        let dir = std::env::temp_dir().join(format!("mirza_lab_epochs_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut lab = Lab::new(Scale::smoke());
+        lab.enable_manifest();
+        lab.epoch_ps = Some(1_000_000);
+        lab.epoch_dir = dir.clone();
+        lab.audit = true;
+        lab.begin_experiment("probe");
+        let _ = lab.run(MitigationConfig::None, "lbm");
+        assert!(lab.audit_failures().is_empty(), "clean run must stay clean");
+        let doc = lab.manifest_json().unwrap();
+        let run = &doc.get("experiments").unwrap().as_arr().unwrap()[0]
+            .get("runs")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        let epochs = run.get("epochs").expect("epoch summary section");
+        assert!(epochs.get("epochs").unwrap().as_u64().unwrap() > 0);
+        let host = run.get("host_profile").expect("host profiler section");
+        assert!(host.get("total_secs").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(run.get("audit_violations").unwrap().as_u64(), Some(0));
+        let stream = dir.join("epochs_baseline-lbm.jsonl");
+        let text = std::fs::read_to_string(&stream).expect("epoch JSONL written");
+        assert!(text.lines().count() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

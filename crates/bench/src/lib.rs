@@ -13,9 +13,12 @@
 //!   queue capacity, region count, PARA comparison).
 //! * [`scale`] — the consistent 1/N scaling of the evaluation setup
 //!   (`--smoke`, `--fast`, `--full`).
+//! * [`compare`] — manifest regression diffing for `repro --compare` and
+//!   the CI bench gate.
 
 pub mod analytic;
 pub mod attacks_exp;
+pub mod compare;
 pub mod experiments;
 pub mod extensions;
 pub mod lab;

@@ -208,6 +208,15 @@ impl Mitigator for Mirza {
         if let Some(rct) = self.rct.as_mut() {
             rct.on_ref(slice);
         }
+        // REF cadence (~tREFI) is a natural sampling point for RCT
+        // saturation gauges feeding the epoch time series.
+        if self.telemetry.is_enabled() {
+            if let Some(rct) = self.rct.as_ref() {
+                let (max, mean) = rct.counter_stats();
+                self.telemetry.set_gauge("rct.max", f64::from(max));
+                self.telemetry.set_gauge("rct.mean", mean);
+            }
+        }
     }
 
     fn on_rfm(&mut self, alert: bool, _now: Ps) {
@@ -222,6 +231,7 @@ impl Mitigator for Mirza {
                 self.telemetry
                     .observe("mirzaq.tardiness_at_drain", u64::from(entry.count));
                 self.stats.mitigations += 1;
+                self.telemetry.inc("mirza.mitigations", 1);
                 self.stats.victim_rows_refreshed +=
                     self.mapping.neighbors(entry.row, BLAST_RADIUS).len() as u64;
                 self.log.push(bank, entry.row);

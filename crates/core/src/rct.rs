@@ -96,6 +96,19 @@ impl RegionCountTable {
         self.rrc[bank]
     }
 
+    /// Max and mean over all region counters (saturation telemetry: how
+    /// close the table runs to FTH between resets).
+    pub fn counter_stats(&self) -> (u32, f64) {
+        let max = self.counters.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.counters.iter().map(|&c| u64::from(c)).sum();
+        let mean = if self.counters.is_empty() {
+            0.0
+        } else {
+            sum as f64 / self.counters.len() as f64
+        };
+        (max, mean)
+    }
+
     /// The region currently being walked by refresh, if any.
     pub fn region_in_refresh(&self) -> Option<u32> {
         self.region_in_refresh

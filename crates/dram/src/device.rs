@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 
 use crate::address::{BankId, RowMapping};
+use crate::audit::CommandAuditor;
 use crate::command::Command;
 use crate::geometry::Geometry;
 use crate::mitigation::{MitigationStats, Mitigator};
@@ -19,7 +20,7 @@ use crate::refresh::RefreshPointer;
 use crate::stats::DeviceStats;
 use crate::time::Ps;
 use crate::timing::TimingParams;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{Json, Phase, Telemetry};
 
 use crate::bank::BankState;
 
@@ -65,6 +66,9 @@ pub struct Subchannel {
     /// activation-equivalents, one per extra tRAS of open time.
     rowpress_weighting: bool,
     telemetry: Telemetry,
+    /// Independent protocol auditor (shadow checker), when enabled. Boxed:
+    /// its per-bank shadow state is only paid for by auditing runs.
+    audit: Option<Box<CommandAuditor>>,
 }
 
 impl std::fmt::Debug for Subchannel {
@@ -108,9 +112,29 @@ impl Subchannel {
             metrics_mapping,
             rowpress_weighting: false,
             telemetry: Telemetry::disabled(),
+            audit: None,
             timing,
             geom,
         }
+    }
+
+    /// Enables the independent protocol auditor, validating the command
+    /// stream against the device's own timing parameters.
+    pub fn enable_audit(&mut self) {
+        let reference = self.timing.clone();
+        self.enable_audit_with(reference);
+    }
+
+    /// Enables the auditor with an explicit reference timing (may differ
+    /// from what the device enforces; used by tests to inject
+    /// device-legal but reference-illegal streams).
+    pub fn enable_audit_with(&mut self, reference: TimingParams) {
+        self.audit = Some(Box::new(CommandAuditor::new(reference, &self.geom)));
+    }
+
+    /// The protocol auditor, when enabled.
+    pub fn auditor(&self) -> Option<&CommandAuditor> {
+        self.audit.as_deref()
     }
 
     /// Attaches a telemetry handle (cloned down into the mitigator).
@@ -178,6 +202,11 @@ impl Subchannel {
     /// True when every bank is precharged.
     pub fn all_precharged(&self) -> bool {
         self.banks.iter().all(|b| b.open_row().is_none())
+    }
+
+    /// Number of banks with an open row (bank-level parallelism gauge).
+    pub fn open_banks(&self) -> usize {
+        self.banks.iter().filter(|b| b.open_row().is_some()).count()
     }
 
     /// Instant the next REF becomes due.
@@ -276,6 +305,15 @@ impl Subchannel {
     /// for it, or if `now` precedes a previously issued command (commands
     /// must be committed in time order).
     pub fn issue(&mut self, cmd: Command, now: Ps) -> Issued {
+        // The auditor observes the stream *before* the device's own
+        // enforcement asserts: a deliberately permissive device then
+        // yields audited violations instead of panics.
+        let auditing = self.audit.is_some();
+        let was_asserted = auditing && self.alert_asserted();
+        if let Some(mut a) = self.audit.take() {
+            a.observe(&cmd, now, &self.telemetry);
+            self.audit = Some(a);
+        }
         assert!(
             now >= self.last_issue_at,
             "commands must be issued in time order"
@@ -289,7 +327,7 @@ impl Subchannel {
         );
         self.last_issue_at = now;
         let t = self.timing.clone();
-        match cmd {
+        let issued = match cmd {
             Command::Act { bank, row } => {
                 let rank = bank.rank as usize;
                 let flat = self.flat(bank);
@@ -304,7 +342,9 @@ impl Subchannel {
                 let phys = self.metrics_mapping.phys_of(row);
                 let sa = (phys / self.metrics_mapping.rows_per_subarray()) as usize;
                 self.act_hist[flat * self.geom.subarrays_per_bank as usize + sa] += 1;
+                let p = self.telemetry.profile_start();
                 self.mitigator.on_activate(flat, row, now);
+                self.telemetry.profile_end(Phase::Tracker, p);
                 Issued {
                     data_ready: None,
                     busy_until: None,
@@ -386,7 +426,9 @@ impl Subchannel {
                         &[("ref_index", Json::U64(slice.index))],
                     );
                 }
+                let p = self.telemetry.profile_start();
                 self.mitigator.on_ref(&slice, now);
+                self.telemetry.profile_end(Phase::Tracker, p);
                 Issued {
                     data_ready: None,
                     busy_until: Some(until),
@@ -405,13 +447,23 @@ impl Subchannel {
                 } else {
                     self.stats.rfms_proactive += 1;
                 }
+                let p = self.telemetry.profile_start();
                 self.mitigator.on_rfm(alert, now);
+                self.telemetry.profile_end(Phase::Tracker, p);
                 Issued {
                     data_ready: None,
                     busy_until: Some(until),
                 }
             }
+        };
+        // ALERT asserting exactly at this command opens the ABO window the
+        // auditor polices (the MC samples the line at the same instant).
+        if auditing && !was_asserted && self.alert_asserted() {
+            if let Some(a) = self.audit.as_mut() {
+                a.note_alert(now.as_ps());
+            }
         }
+        issued
     }
 }
 

@@ -29,6 +29,7 @@
 //! [`Mitigator`]: mitigation::Mitigator
 
 pub mod address;
+pub mod audit;
 pub mod bank;
 pub mod command;
 pub mod device;
@@ -43,6 +44,7 @@ pub mod timing;
 /// Convenient re-exports of the types nearly every consumer needs.
 pub mod prelude {
     pub use crate::address::{BankId, DramAddr, MappingScheme, RegionMap, RowMapping};
+    pub use crate::audit::{AuditConfig, CommandAuditor, Violation};
     pub use crate::command::Command;
     pub use crate::device::{Issued, Subchannel};
     pub use crate::energy::EnergyModel;

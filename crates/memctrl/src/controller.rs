@@ -334,6 +334,7 @@ impl MemController {
                         AccessKind::Read => {
                             self.stats.reads_done += 1;
                             self.stats.read_latency_ps += (done - q.req.arrival).as_ps();
+                            self.telemetry.inc("mc.reads", 1);
                             self.telemetry.observe(
                                 "mc.read_latency_ns",
                                 (done - q.req.arrival).as_ps() / 1000,
@@ -345,6 +346,7 @@ impl MemController {
                         }
                         AccessKind::Write => {
                             self.stats.writes_done += 1;
+                            self.telemetry.inc("mc.writes", 1);
                             out.push(Completion {
                                 id: q.req.id,
                                 done_at: at,
@@ -357,6 +359,7 @@ impl MemController {
                     self.mark_head(flat, true);
                     self.raa[flat] += 1;
                     self.device.issue(cmd, at);
+                    self.telemetry.inc("mc.acts", 1);
                 }
                 Command::Pre { bank } => {
                     let flat = bank.flat_in_subchannel(self.device.geometry());
@@ -371,6 +374,7 @@ impl MemController {
                 }
                 Command::Ref => {
                     self.device.issue(cmd, at);
+                    self.telemetry.inc("mc.refs", 1);
                 }
                 Command::Rfm { alert } => {
                     self.device.issue(cmd, at);
@@ -389,8 +393,10 @@ impl MemController {
                             );
                         }
                         self.stats.alerts_serviced += 1;
+                        self.telemetry.inc("mc.alerts", 1);
                     } else {
                         self.stats.rfms_issued += 1;
+                        self.telemetry.inc("mc.rfms", 1);
                         self.telemetry.event(
                             at.as_ps(),
                             "rfm_issued",

@@ -192,6 +192,11 @@ pub struct SimConfig {
     /// Progress heartbeat: print a status line every this many retired
     /// instructions (`None` = silent).
     pub heartbeat_every: Option<u64>,
+    /// Enable the independent DDR5 protocol auditor on every sub-channel.
+    /// Pure observability: it never alters simulated behavior, so it is
+    /// deliberately excluded from [`SimConfig::to_json`] (audited and
+    /// unaudited manifests stay comparable).
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -211,6 +216,7 @@ impl SimConfig {
             t_refw: None,
             rowpress: false,
             heartbeat_every: None,
+            audit: false,
         }
     }
 

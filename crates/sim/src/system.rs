@@ -15,7 +15,7 @@ use mirza_frontend::trace::AccessStream;
 use mirza_memctrl::controller::MemController;
 use mirza_memctrl::mapping::AddressMapper;
 use mirza_memctrl::request::{AccessKind, Completion, McStats, Request};
-use mirza_telemetry::{Heartbeat, Telemetry};
+use mirza_telemetry::{Heartbeat, Phase, Telemetry};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
@@ -103,6 +103,9 @@ impl System {
                         .build(&geom, cfg.seed.wrapping_add(u64::from(s) * 7919)),
                 );
                 device.set_rowpress_weighting(cfg.rowpress);
+                if cfg.audit {
+                    device.enable_audit();
+                }
                 MemController::new(device, cfg.mitigation.mc_config(), s)
             })
             .collect();
@@ -198,6 +201,10 @@ impl System {
         let mut cores = std::mem::take(&mut self.cores);
         let mut idle_quanta = 0u32;
         let mut heartbeat = self.cfg.heartbeat_every.map(Heartbeat::new);
+        // One handle clone up front so profiled closures over `self` don't
+        // fight the borrow checker.
+        let tel = self.telemetry.clone();
+        let sample_epochs = tel.has_epochs();
         while !cores
             .iter()
             .zip(&self.required)
@@ -207,6 +214,7 @@ impl System {
             loop {
                 self.issued_this_pass = false;
                 let mut delivered = false;
+                let p = tel.profile_start();
                 for core in cores.iter_mut() {
                     if core.finished() {
                         continue;
@@ -215,15 +223,20 @@ impl System {
                     let _status: RunStatus =
                         core.run(t_end, |v, s, now| self.memory_access(id, v, s, now));
                 }
+                tel.profile_end(Phase::Frontend, p);
+                let p = tel.profile_start();
                 for mc in &mut self.mcs {
                     mc.run_until(t_end, &mut completions);
                 }
+                tel.profile_end(Phase::Device, p);
+                let p = tel.profile_start();
                 for c in completions.drain(..) {
                     if let Some(owner) = self.token_owner.remove(&c.id) {
                         cores[owner].complete(c.id, c.done_at);
                         delivered = true;
                     }
                 }
+                tel.profile_end(Phase::Scheduler, p);
                 if !(self.issued_this_pass || delivered) {
                     break;
                 }
@@ -238,19 +251,73 @@ impl System {
                     "system deadlocked: no progress for 1M quanta"
                 );
             }
+            let p = tel.profile_start();
             if let Some(hb) = heartbeat.as_mut() {
                 let retired = cores.iter().map(Core::instructions).sum();
                 if let Some(line) = hb.tick(retired, t_end.as_ps()) {
                     eprintln!("{line}");
                 }
             }
+            if sample_epochs {
+                self.update_epoch_inputs(&cores);
+                tel.epoch_tick(t_end.as_ps());
+            }
+            tel.profile_end(Phase::Io, p);
             t_end += quantum;
         }
         self.cores = cores;
         for mc in &mut self.mcs {
             mc.finish_telemetry();
         }
-        self.build_report()
+        if sample_epochs {
+            // Close the series at the last simulated boundary (emits a
+            // trailing partial epoch when the epoch length is not a
+            // multiple of the quantum).
+            tel.epoch_finish((t_end - quantum).as_ps());
+        }
+        let p = tel.profile_start();
+        let report = self.build_report();
+        tel.profile_end(Phase::Report, p);
+        report
+    }
+
+    /// Refreshes the counters/gauges the epoch sampler snapshots: per-core
+    /// retired instructions (IPC series), aggregate instructions, MC queue
+    /// depth, and open-bank parallelism. Tracker/mitigation rates are
+    /// incremented at their call sites; RCT gauges are set by the engine.
+    fn update_epoch_inputs(&self, cores: &[Core]) {
+        /// Static names so per-core series need no allocation; cores past
+        /// this table still count toward the aggregate series.
+        const CORE_INSTR: [&str; 16] = [
+            "core00.instructions",
+            "core01.instructions",
+            "core02.instructions",
+            "core03.instructions",
+            "core04.instructions",
+            "core05.instructions",
+            "core06.instructions",
+            "core07.instructions",
+            "core08.instructions",
+            "core09.instructions",
+            "core10.instructions",
+            "core11.instructions",
+            "core12.instructions",
+            "core13.instructions",
+            "core14.instructions",
+            "core15.instructions",
+        ];
+        let mut retired = 0u64;
+        for (i, c) in cores.iter().enumerate() {
+            retired += c.instructions();
+            if let Some(name) = CORE_INSTR.get(i) {
+                self.telemetry.set_counter(name, c.instructions());
+            }
+        }
+        self.telemetry.set_counter("sim.instructions", retired);
+        let pending: usize = self.mcs.iter().map(MemController::pending_requests).sum();
+        self.telemetry.set_gauge("mc.queue_depth", pending as f64);
+        let open: usize = self.mcs.iter().map(|m| m.device().open_banks()).sum();
+        self.telemetry.set_gauge("dram.open_banks", open as f64);
     }
 
     fn build_report(&self) -> SimReport {

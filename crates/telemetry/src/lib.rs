@@ -17,21 +17,26 @@
 //! off. The simulator is single-threaded, so the enabled handle is an
 //! `Rc<RefCell<Recorder>>` clone shared by every component.
 
+pub mod epoch;
 pub mod heartbeat;
 pub mod histogram;
 pub mod json;
+pub mod profiler;
 pub mod registry;
 pub mod sink;
 
+pub use epoch::{EpochRecord, EpochSampler};
 pub use heartbeat::Heartbeat;
 pub use histogram::{Histogram, Summary};
 pub use json::Json;
+pub use profiler::{Phase, PhaseProfiler};
 pub use registry::Registry;
 pub use sink::{EventSink, SharedBuf, TraceSink};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Everything one enabled telemetry session accumulates.
 #[derive(Debug, Default)]
@@ -45,6 +50,10 @@ pub struct Recorder {
     /// Events seen per kind — counted even with no sink attached, so
     /// manifests can report episode counts without paying for I/O.
     pub event_counts: BTreeMap<String, u64>,
+    /// Epoch time-series sampler, when attached.
+    pub epochs: Option<EpochSampler>,
+    /// Host-phase wall-clock profiler, when attached.
+    pub profiler: Option<PhaseProfiler>,
 }
 
 /// Cheap, cloneable handle to a telemetry session.
@@ -87,9 +96,40 @@ impl Telemetry {
         self
     }
 
+    /// Attaches an epoch time-series sampler.
+    pub fn with_epochs(self, sampler: EpochSampler) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().epochs = Some(sampler);
+        }
+        self
+    }
+
+    /// Attaches a host-phase wall-clock profiler.
+    pub fn with_profiler(self) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().profiler = Some(PhaseProfiler::new());
+        }
+        self
+    }
+
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether an epoch sampler is attached (callers skip per-quantum gauge
+    /// updates entirely when not).
+    pub fn has_epochs(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.borrow().epochs.is_some())
+    }
+
+    /// Whether a host-phase profiler is attached.
+    pub fn is_profiling(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.borrow().profiler.is_some())
     }
 
     /// Whether a per-command trace sink is attached (callers skip building
@@ -119,6 +159,91 @@ impl Telemetry {
         if let Some(inner) = &self.inner {
             inner.borrow_mut().registry.set_gauge(name, v);
         }
+    }
+
+    /// Sets a named counter to an absolute (cumulative) value.
+    pub fn set_counter(&self, name: &'static str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().registry.set_counter(name, v);
+        }
+    }
+
+    /// Advances the epoch sampler to simulated time `t_ps` (no-op unless a
+    /// sampler is attached). Call once per simulation quantum, after
+    /// updating any per-quantum counters/gauges.
+    pub fn epoch_tick(&self, t_ps: u64) {
+        if let Some(inner) = &self.inner {
+            let rec = &mut *inner.borrow_mut();
+            if let Some(s) = rec.epochs.as_mut() {
+                s.tick(t_ps, &rec.registry);
+            }
+        }
+    }
+
+    /// Closes the epoch series at simulated time `t_ps`, emitting a final
+    /// partial epoch if needed.
+    pub fn epoch_finish(&self, t_ps: u64) {
+        if let Some(inner) = &self.inner {
+            let rec = &mut *inner.borrow_mut();
+            if let Some(s) = rec.epochs.as_mut() {
+                s.finish(t_ps, &rec.registry);
+            }
+        }
+    }
+
+    /// The epoch series as compact JSONL; `None` unless a sampler is
+    /// attached.
+    pub fn epochs_jsonl(&self) -> Option<String> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().epochs.as_ref().map(EpochSampler::to_jsonl))
+    }
+
+    /// Per-series epoch summaries for the manifest; `None` unless a
+    /// sampler is attached.
+    pub fn epochs_summary_json(&self) -> Option<Json> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().epochs.as_ref().map(EpochSampler::summary_json))
+    }
+
+    /// Starts a profiled span; pair with [`Telemetry::profile_end`].
+    /// Returns `None` (and costs one branch) when no profiler is attached.
+    /// This split API exists for call sites where a closure would fight the
+    /// borrow checker; prefer [`Telemetry::profile`] elsewhere.
+    pub fn profile_start(&self) -> Option<Instant> {
+        if self.is_profiling() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a profiled span started by [`Telemetry::profile_start`].
+    pub fn profile_end(&self, phase: Phase, start: Option<Instant>) {
+        if let (Some(start), Some(inner)) = (start, &self.inner) {
+            if let Some(p) = inner.borrow_mut().profiler.as_mut() {
+                p.add(phase, start.elapsed());
+            }
+        }
+    }
+
+    /// Runs `f`, attributing its wall-clock to `phase` when a profiler is
+    /// attached. The recorder is not borrowed while `f` runs, so `f` may
+    /// itself use this handle.
+    pub fn profile<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let start = self.profile_start();
+        let out = f();
+        self.profile_end(phase, start);
+        out
+    }
+
+    /// The host-phase profile for the manifest; `None` unless a profiler
+    /// is attached.
+    pub fn profile_json(&self) -> Option<Json> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().profiler.as_ref().map(PhaseProfiler::to_json))
     }
 
     /// Records a structured event: counted always, written to the event
@@ -257,6 +382,54 @@ mod tests {
         t.trace_line(|| "100 ACT sc0 ba1 row2".to_string());
         t.flush();
         assert_eq!(buf.contents(), "100 ACT sc0 ba1 row2\n");
+    }
+
+    #[test]
+    fn epoch_sampler_through_handle() {
+        let t = Telemetry::enabled().with_epochs(EpochSampler::new(100));
+        assert!(t.has_epochs());
+        t.inc("c", 3);
+        t.epoch_tick(100);
+        t.inc("c", 4);
+        t.epoch_finish(150);
+        let jsonl = t.epochs_jsonl().unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        let sum = t.epochs_summary_json().unwrap();
+        assert_eq!(sum.get("epochs").unwrap().as_u64(), Some(2));
+
+        let d = Telemetry::disabled().with_epochs(EpochSampler::new(100));
+        assert!(!d.has_epochs());
+        d.epoch_tick(100);
+        assert!(d.epochs_jsonl().is_none());
+    }
+
+    #[test]
+    fn profiler_through_handle() {
+        let t = Telemetry::enabled().with_profiler();
+        assert!(t.is_profiling());
+        let x = t.profile(Phase::Device, || {
+            // Nested use of the handle must not deadlock on the RefCell.
+            t.inc("inner", 1);
+            42
+        });
+        assert_eq!(x, 42);
+        let doc = t.profile_json().unwrap();
+        let dev = doc.get("phases").unwrap().get("device").unwrap();
+        assert_eq!(dev.get("calls").unwrap().as_u64(), Some(1));
+
+        let d = Telemetry::disabled();
+        assert!(!d.is_profiling());
+        assert!(d.profile_start().is_none());
+        assert_eq!(d.profile(Phase::Io, || 7), 7);
+        assert!(d.profile_json().is_none());
+    }
+
+    #[test]
+    fn set_counter_is_absolute() {
+        let t = Telemetry::enabled();
+        t.set_counter("core0.instructions", 10);
+        t.set_counter("core0.instructions", 25);
+        assert_eq!(t.counter("core0.instructions"), 25);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Host-phase profiler: wall-clock attribution with zero dependencies.
+//!
+//! [`PhaseProfiler`] accumulates `std::time::Instant` spans into a handful
+//! of fixed [`Phase`]s (frontend, device tick, tracker engine, scheduler,
+//! I/O, report). Phases nest inclusively: tracker time spent inside a
+//! device tick is counted in both. Wall-clock numbers are inherently
+//! nondeterministic, so they are reported under the manifest's
+//! `host_profile` key, which the regression gate compares only within a
+//! coarse tolerance (and the exact-match diff skips entirely).
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// A host-time attribution bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Core models: fetch/retire loop, LLC, address mapping.
+    Frontend,
+    /// Memory-controller + DRAM device tick (`run_until`).
+    Device,
+    /// Rowhammer tracker / MIRZA engine callbacks (nested inside Device).
+    Tracker,
+    /// Completion delivery and quantum bookkeeping.
+    Scheduler,
+    /// Heartbeat, sinks, and epoch sampling.
+    Io,
+    /// Report construction at end of run.
+    Report,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 6] = [
+    Phase::Frontend,
+    Phase::Device,
+    Phase::Tracker,
+    Phase::Scheduler,
+    Phase::Io,
+    Phase::Report,
+];
+
+impl Phase {
+    /// Stable snake_case name used in manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Frontend => "frontend",
+            Phase::Device => "device",
+            Phase::Tracker => "tracker",
+            Phase::Scheduler => "scheduler",
+            Phase::Io => "io",
+            Phase::Report => "report",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Frontend => 0,
+            Phase::Device => 1,
+            Phase::Tracker => 2,
+            Phase::Scheduler => 3,
+            Phase::Io => 4,
+            Phase::Report => 5,
+        }
+    }
+}
+
+/// Accumulated wall-clock per phase.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    nanos: [u64; PHASES.len()],
+    calls: [u64; PHASES.len()],
+    started: Instant0,
+}
+
+/// `Instant` has no `Default`; wrap the creation time.
+#[derive(Debug)]
+struct Instant0(Instant);
+
+impl Default for Instant0 {
+    fn default() -> Self {
+        Instant0(Instant::now())
+    }
+}
+
+impl PhaseProfiler {
+    /// A fresh profiler; total elapsed time is measured from creation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one span to a phase.
+    pub fn add(&mut self, phase: Phase, d: Duration) {
+        let i = phase.index();
+        self.nanos[i] += u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.calls[i] += 1;
+    }
+
+    /// Nanoseconds accumulated in a phase.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()]
+    }
+
+    /// Manifest subtree: total wall seconds plus per-phase seconds, call
+    /// counts, and percentage of attributed time. `Tracker` nests inside
+    /// `Device`, so phase percentages can sum past 100.
+    pub fn to_json(&self) -> Json {
+        let total = self.started.0.elapsed();
+        let attributed: u64 = PHASES
+            .iter()
+            .filter(|p| !matches!(p, Phase::Tracker))
+            .map(|p| self.nanos[p.index()])
+            .sum();
+        let mut phases = Json::obj();
+        for p in PHASES {
+            let i = p.index();
+            let mut o = Json::obj();
+            o.push("secs", self.nanos[i] as f64 / 1e9)
+                .push("calls", self.calls[i])
+                .push(
+                    "pct_of_attributed",
+                    if attributed == 0 {
+                        0.0
+                    } else {
+                        self.nanos[i] as f64 * 100.0 / attributed as f64
+                    },
+                );
+            phases.push(p.name(), o);
+        }
+        let mut doc = Json::obj();
+        doc.push("total_secs", total.as_secs_f64())
+            .push("attributed_secs", attributed as f64 / 1e9)
+            .push("phases", phases);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let mut p = PhaseProfiler::new();
+        p.add(Phase::Device, Duration::from_nanos(500));
+        p.add(Phase::Device, Duration::from_nanos(250));
+        p.add(Phase::Tracker, Duration::from_nanos(100));
+        assert_eq!(p.nanos(Phase::Device), 750);
+        assert_eq!(p.nanos(Phase::Tracker), 100);
+        assert_eq!(p.nanos(Phase::Io), 0);
+    }
+
+    #[test]
+    fn json_shape_has_all_phases() {
+        let mut p = PhaseProfiler::new();
+        p.add(Phase::Frontend, Duration::from_micros(2));
+        let doc = p.to_json();
+        let phases = doc.get("phases").unwrap();
+        for ph in PHASES {
+            let o = phases.get(ph.name()).unwrap();
+            assert!(o.get("secs").unwrap().as_f64().is_some());
+            assert!(o.get("calls").unwrap().as_u64().is_some());
+        }
+        // Tracker is excluded from the attribution denominator.
+        assert!(doc.get("attributed_secs").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -26,6 +26,13 @@ impl Registry {
         *self.counters.entry(name).or_insert(0) += by;
     }
 
+    /// Sets the named counter to an absolute value. For cumulative values
+    /// maintained elsewhere (e.g. instructions retired per core) that the
+    /// epoch sampler should see as a counter, not a gauge.
+    pub fn set_counter(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(name, v);
+    }
+
     /// Sets the named gauge to `v`.
     pub fn set_gauge(&mut self, name: &'static str, v: f64) {
         self.gauges.insert(name, v);
@@ -49,6 +56,16 @@ impl Registry {
     /// The named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Iterates histograms in name order.

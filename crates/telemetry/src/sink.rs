@@ -44,6 +44,14 @@ impl EventSink {
     }
 }
 
+/// Flush on drop so panics and early exits still leave every fully-emitted
+/// JSONL line on disk (a truncated run stays parseable line-by-line).
+impl Drop for EventSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Writes a per-command text trace, one line per DRAM command, in the
 /// DRAMSim3 spirit: `<t_ps> <command> <location>`.
 pub struct TraceSink {
@@ -79,6 +87,13 @@ impl TraceSink {
     /// Flushes buffered output.
     pub fn flush(&mut self) {
         let _ = self.out.flush();
+    }
+}
+
+/// Flush on drop — see [`EventSink`]'s `Drop` impl.
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -133,6 +148,53 @@ mod tests {
         assert_eq!(first.get("subch").unwrap().as_u64(), Some(1));
         let second = Json::parse(&lines[1]).unwrap();
         assert_eq!(second.get("event").unwrap().as_str(), Some("rfm"));
+    }
+
+    /// A writer that stages bytes internally and only forwards them to the
+    /// shared buffer on an explicit `flush` — models a `BufWriter` whose
+    /// inner bytes would be lost without the sinks' `Drop` guard.
+    struct LazyBuf {
+        staged: Vec<u8>,
+        out: SharedBuf,
+    }
+
+    impl Write for LazyBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.staged.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            let staged = std::mem::take(&mut self.staged);
+            let mut w: Box<dyn Write> = self.out.writer();
+            w.write_all(&staged)
+        }
+    }
+
+    #[test]
+    fn sinks_flush_on_drop() {
+        let buf = SharedBuf::new();
+        {
+            let mut sink = EventSink::new(Box::new(LazyBuf {
+                staged: Vec::new(),
+                out: buf.clone(),
+            }));
+            sink.emit(42, "truncated_run", &[]);
+            assert_eq!(buf.contents(), "", "bytes still staged before drop");
+        }
+        let line = buf.contents();
+        let parsed = Json::parse(line.trim()).expect("dropped sink left parseable JSONL");
+        assert_eq!(parsed.get("t_ps").unwrap().as_u64(), Some(42));
+
+        let buf = SharedBuf::new();
+        {
+            let mut sink = TraceSink::new(Box::new(LazyBuf {
+                staged: Vec::new(),
+                out: buf.clone(),
+            }));
+            sink.line("100 ACT sc0 ba0 row0");
+        }
+        assert_eq!(buf.contents(), "100 ACT sc0 ba0 row0\n");
     }
 
     #[test]

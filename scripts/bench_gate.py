@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Manifest-driven regression gate for the MIRZA repro harness.
+
+Compares a freshly generated run manifest (``repro <exp> --json``) against a
+committed baseline:
+
+* the deterministic sections of every run (``config``, ``report``) must
+  match exactly — integers bit-for-bit, floats to a relative tolerance that
+  only forgives serialization noise;
+* host-side wall-clock sections (``host_profile``) are nondeterministic and
+  are checked with a generous ratio tolerance instead, so a CI runner that
+  is merely slow does not fail the gate, but an order-of-magnitude
+  performance cliff does.
+
+Exit status: 0 when the gate passes, 1 on any regression, 2 on usage or
+I/O errors. Standard library only.
+
+Usage:
+    scripts/bench_gate.py BASELINE.json CURRENT.json [--host-tol RATIO]
+"""
+
+import argparse
+import json
+import sys
+
+# Relative tolerance for float fields in deterministic sections. The
+# simulator is integer-deterministic; report floats are derived metrics.
+REL_TOL = 1e-9
+
+# Run sections that must match exactly (modulo REL_TOL on floats).
+EXACT_SECTIONS = ("config", "report")
+
+
+def index_runs(manifest):
+    """Flatten a manifest into {(experiment, label, workload): run}."""
+    out = {}
+    for exp in manifest.get("experiments", []):
+        name = exp.get("name", "?")
+        for run in exp.get("runs", []):
+            key = (name, run.get("label", "?"), run.get("workload", "?"))
+            out[key] = run
+    return out
+
+
+def floats_close(a, b):
+    if a == b:
+        return True
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b))
+
+
+def diff_exact(path, base, cur, out):
+    """Appends one message per divergence between two JSON values."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for k, v in base.items():
+            if k not in cur:
+                out.append(f"{path}.{k}: missing from current")
+            else:
+                diff_exact(f"{path}.{k}", v, cur[k], out)
+        for k in cur:
+            if k not in base:
+                out.append(f"{path}.{k}: missing from baseline")
+    elif isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            out.append(f"{path}: array length {len(base)} != {len(cur)}")
+            return
+        for i, (a, b) in enumerate(zip(base, cur)):
+            diff_exact(f"{path}[{i}]", a, b, out)
+    elif isinstance(base, float) or isinstance(cur, float):
+        if not (
+            isinstance(base, (int, float))
+            and isinstance(cur, (int, float))
+            and not isinstance(base, bool)
+            and not isinstance(cur, bool)
+            and floats_close(float(base), float(cur))
+        ):
+            out.append(f"{path}: baseline {base!r} != current {cur!r}")
+    elif base != cur:
+        out.append(f"{path}: baseline {base!r} != current {cur!r}")
+
+
+def check_host_profile(key, base, cur, tol, out):
+    """Host timing gate: total wall-clock within a ratio band."""
+    b = base.get("host_profile")
+    c = cur.get("host_profile")
+    if not b or not c:
+        return  # profiling off in one manifest: nothing to gate
+    bt = b.get("total_secs")
+    ct = c.get("total_secs")
+    if not bt or not ct or bt <= 0:
+        return
+    ratio = ct / bt
+    if ratio > tol:
+        out.append(
+            f"{'/'.join(key)}: host time {ct:.3f}s is {ratio:.1f}x baseline "
+            f"{bt:.3f}s (tolerance {tol:.1f}x)"
+        )
+
+
+def run_gate(baseline, current, host_tol):
+    failures = []
+    diff_exact("scale", baseline.get("scale"), current.get("scale"), failures)
+    diff_exact("seed", baseline.get("seed"), current.get("seed"), failures)
+    base_runs = index_runs(baseline)
+    cur_runs = index_runs(current)
+    for key, brun in base_runs.items():
+        crun = cur_runs.get(key)
+        if crun is None:
+            failures.append(f"{'/'.join(key)}: run missing from current manifest")
+            continue
+        for section in EXACT_SECTIONS:
+            bs, cs = brun.get(section), crun.get(section)
+            if (bs is None) != (cs is None):
+                failures.append(f"{'/'.join(key)}.{section}: present in only one manifest")
+            elif bs is not None:
+                diff_exact(f"{'/'.join(key)}.{section}", bs, cs, failures)
+        if brun.get("audit_violations", 0) == 0 and crun.get("audit_violations", 0):
+            failures.append(
+                f"{'/'.join(key)}: {crun['audit_violations']} new protocol violation(s)"
+            )
+        check_host_profile(key, brun, crun, host_tol, failures)
+    for key in cur_runs:
+        if key not in base_runs:
+            failures.append(f"{'/'.join(key)}: run missing from baseline manifest")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline manifest (JSON)")
+    parser.add_argument("current", help="freshly generated manifest (JSON)")
+    parser.add_argument(
+        "--host-tol",
+        type=float,
+        default=10.0,
+        metavar="RATIO",
+        help="max current/baseline host wall-clock ratio (default %(default)s)",
+    )
+    args = parser.parse_args()
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: error: {e}", file=sys.stderr)
+        return 2
+    failures = run_gate(baseline, current, args.host_tol)
+    runs = len(index_runs(baseline))
+    if failures:
+        print(f"bench_gate: FAIL — {len(failures)} regression(s) across {runs} run(s):")
+        for msg in failures[:100]:
+            print(f"  {msg}")
+        if len(failures) > 100:
+            print(f"  ... and {len(failures) - 100} more")
+        return 1
+    print(f"bench_gate: PASS — {runs} run(s) match the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,16 @@
 //! `repro` — regenerate any table or figure of the MIRZA paper.
 //!
 //! ```text
-//! repro <experiment|all> [--smoke|--fast|--full] [--seed N] [--csv FILE]
-//!       [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit]
-//!       [--strict-audit] [--compare BASELINE.json] [--list] [--quiet]
+//! repro <experiment|all|PATH.trace> [--smoke|--fast|--full] [--seed N]
+//!       [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR]
+//!       [--audit] [--strict-audit] [--compare BASELINE.json]
+//!       [--faults PLAN] [--watchdog SECS] [--list] [--quiet]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
 //!   table10 table11 table12 table13
 //!   fig3 fig6 fig9 fig11a fig11b fig13 fig14
-//!   security dos-sim
+//!   security dos-sim watchdog-demo
 //! ```
 //!
 //! `--fast` (default) runs the self-consistent 1/16-scaled setup; `--full`
@@ -23,6 +24,18 @@
 //! `--compare BASELINE.json` re-runs the named experiments and exits
 //! nonzero if the deterministic manifest sections diverge from the
 //! baseline.
+//!
+//! Robustness flags: `--faults PLAN` injects a canned fault plan
+//! (`rct-seu`, `abo-drop`, `queue-loss`, `refresh-skip`, `trace-corrupt`,
+//! each tunable as `name:key=value,...`) into every simulation and adds a
+//! fault summary plus security verdict to each manifest run record;
+//! `--watchdog SECS` arms a wall-clock forward-progress watchdog per run.
+//! A target ending in `.trace` (or containing `/`) replays that trace
+//! file on every core instead of a named experiment; `watchdog-demo`
+//! deliberately stalls to demonstrate the watchdog abort path.
+//!
+//! Exit codes mirror `SimError`: 0 success, 1 usage/comparison failure,
+//! 2 unknown workload, 3 trace parse, 4 config, 5 I/O, 6 watchdog.
 
 use std::process::ExitCode;
 
@@ -33,7 +46,11 @@ use mirza_bench::experiments;
 use mirza_bench::extensions;
 use mirza_bench::lab::Lab;
 use mirza_bench::scale::Scale;
-use mirza_telemetry::Json;
+use mirza_sim::config::MitigationConfig;
+use mirza_sim::faults::{FaultPlan, CANNED_PLANS};
+use mirza_sim::runner::{run_stalled, run_tracefile};
+use mirza_sim::SimError;
+use mirza_telemetry::{Json, Telemetry};
 
 const SIM_EXPERIMENTS: &[&str] = &[
     // Ordered so the cheapest, highest-value experiments complete first;
@@ -88,16 +105,62 @@ fn run_experiment(name: &str, lab: &mut Lab) -> Option<String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro <experiment|all|ablations> [--smoke|--fast|--full] [--seed N] \
-         [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
-         [--strict-audit] [--compare BASELINE.json] [--list] [--quiet]\n\
-         experiments: {} {} {} {}",
+        "usage: repro <experiment|all|ablations|PATH.trace> [--smoke|--fast|--full] \
+         [--seed N] [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
+         [--strict-audit] [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS] \
+         [--list] [--quiet]\n\
+         experiments: {} {} {} {} watchdog-demo\n\
+         fault plans: {} (tunable as name:key=value,...)",
         ANALYTIC_EXPERIMENTS.join(" "),
         SIM_EXPERIMENTS.join(" "),
         ATTACK_EXPERIMENTS.join(" "),
         EXTENSION_EXPERIMENTS.join(" "),
+        CANNED_PLANS.join(" "),
     );
     ExitCode::FAILURE
+}
+
+/// Prints a `SimError` in structured form and maps it to its dedicated
+/// process exit code (see the module docs for the table).
+fn fail(err: &SimError) -> ExitCode {
+    eprintln!("error: {err}");
+    ExitCode::from(err.exit_code())
+}
+
+/// Replays a plain-text trace file on every core at the selected scale.
+fn replay_trace(path: &std::path::Path, scale: Scale, watchdog: Option<u64>) -> ExitCode {
+    let mut cfg = scale.sim_config(MitigationConfig::None);
+    cfg.watchdog_wall = watchdog.map(std::time::Duration::from_secs);
+    match run_tracefile(&cfg, path, Telemetry::disabled()) {
+        Ok(report) => {
+            println!(
+                "replayed {}: {} instructions, mpki {:.2}, {} ACTs",
+                path.display(),
+                report.instructions,
+                report.mpki(),
+                report.device.acts
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// Deliberately stalls a run so the idle watchdog fires; demonstrates the
+/// abort path end to end (flushed telemetry, structured message, exit 6).
+fn watchdog_demo(scale: Scale) -> ExitCode {
+    let mut cfg = scale.sim_config(MitigationConfig::None);
+    cfg.cores = 1;
+    // Keep the demo fast: the stalled loop burns one pass per quantum.
+    cfg.watchdog_idle_quanta = 50_000;
+    eprintln!("stalling a run on purpose; expecting a watchdog abort ...");
+    match run_stalled(&cfg, "lbm", Telemetry::disabled()) {
+        Ok(_) => {
+            eprintln!("error: stalled run unexpectedly completed");
+            ExitCode::FAILURE
+        }
+        Err(e) => fail(&e),
+    }
 }
 
 fn list_experiments() -> ExitCode {
@@ -130,9 +193,19 @@ fn main() -> ExitCode {
     let mut audit = false;
     let mut strict_audit = false;
     let mut compare: Option<std::path::PathBuf> = None;
+    let mut faults: Option<String> = None;
+    let mut watchdog: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => match it.next() {
+                Some(p) => faults = Some(p.clone()),
+                None => return usage(),
+            },
+            "--watchdog" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) if s > 0 => watchdog = Some(s),
+                _ => return usage(),
+            },
             "--smoke" => scale = Scale::smoke(),
             "--fast" => scale = Scale::fast(),
             "--full" => scale = Scale::full(),
@@ -176,7 +249,21 @@ fn main() -> ExitCode {
     let Some(target) = target else {
         return usage();
     };
+    let fault_plan = match faults.as_deref().map(FaultPlan::parse) {
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => return fail(&e),
+        None => None,
+    };
+    if target.ends_with(".trace") || target.contains('/') {
+        return replay_trace(std::path::Path::new(&target), scale, watchdog);
+    }
+    if target == "watchdog-demo" {
+        return watchdog_demo(scale);
+    }
     let mut lab = Lab::new(scale);
+    lab.fault_plan = fault_plan;
+    lab.watchdog_wall_secs = watchdog;
+    lab.manifest_path = json.clone();
     lab.verbose = verbose;
     lab.csv_path = csv;
     lab.epoch_ps = epochs_ns.map(|ns| ns.saturating_mul(1_000));

@@ -7,8 +7,10 @@ use std::collections::HashMap;
 use mirza_core::config::MirzaConfig;
 use mirza_core::rct::ResetPolicy;
 use mirza_sim::config::{MitigationConfig, SimConfig};
+use mirza_sim::faults::{FaultInjector, FaultPlan};
 use mirza_sim::report::SimReport;
-use mirza_sim::runner::run_workload_with;
+use mirza_sim::runner::try_run_workload_with;
+use mirza_sim::SimError;
 use mirza_telemetry::{EpochSampler, Json, Telemetry};
 
 use crate::scale::Scale;
@@ -35,6 +37,15 @@ pub struct Lab {
     audit_failures: Vec<(String, u64)>,
     /// Per-experiment run records, collected when manifest mode is on.
     manifest: Option<Vec<(String, Vec<Json>)>>,
+    /// Fault plan injected into every fresh simulation (`None` = no
+    /// faults). Turning a plan on also arms the auditor's per-row ACT
+    /// census so each run record carries a security verdict.
+    pub fault_plan: Option<FaultPlan>,
+    /// Wall-clock watchdog budget per simulation, in seconds.
+    pub watchdog_wall_secs: Option<u64>,
+    /// Where the manifest will be written; a fatal error flushes the
+    /// partial document here before exiting.
+    pub manifest_path: Option<std::path::PathBuf>,
 }
 
 impl Lab {
@@ -51,6 +62,9 @@ impl Lab {
             audit: false,
             audit_failures: Vec::new(),
             manifest: None,
+            fault_plan: None,
+            watchdog_wall_secs: None,
+            manifest_path: None,
         }
     }
 
@@ -78,6 +92,7 @@ impl Lab {
         cfg: &SimConfig,
         report: &SimReport,
         telemetry: &Telemetry,
+        injector: Option<&FaultInjector>,
     ) {
         // Probe sections are gathered before the manifest borrow; each is
         // attached only when its collector ran, so probe-off manifests stay
@@ -85,6 +100,10 @@ impl Lab {
         let epochs = telemetry.epochs_summary_json();
         let host_profile = telemetry.profile_json();
         let audit_violations = cfg.audit.then(|| telemetry.counter("audit.violations"));
+        let faults = injector.map(FaultInjector::summary_json);
+        let verdict = injector
+            .is_some()
+            .then(|| Self::security_verdict(cfg, telemetry));
         let Some(groups) = &mut self.manifest else {
             return;
         };
@@ -106,11 +125,44 @@ impl Lab {
         if let Some(v) = audit_violations {
             run.push("audit_violations", v);
         }
+        if let Some(f) = faults {
+            run.push("faults", f);
+        }
+        if let Some(v) = verdict {
+            run.push("security_verdict", v);
+        }
         groups
             .last_mut()
             .expect("just ensured non-empty")
             .1
             .push(run);
+    }
+
+    /// Compares the auditor's maximum per-row ACT census against the NBO
+    /// activation bound of the configured mitigation. The census is a
+    /// conservative upper bound (targeted mitigations are not credited),
+    /// so `holds == true` means the Rowhammer guarantee survived the
+    /// injected faults; `holds == false` flags a run for inspection, not
+    /// a proven break. Non-MIRZA mitigations have no NBO bound, so the
+    /// verdict degrades to reporting the observed maximum.
+    fn security_verdict(cfg: &SimConfig, telemetry: &Telemetry) -> Json {
+        let max_row_acts = telemetry.counter("audit.max_row_acts");
+        let nbo_bound = match &cfg.mitigation {
+            MitigationConfig::Mirza { cfg: mirza, .. } => Some(u64::from(mirza.safe_trhd())),
+            _ => None,
+        };
+        let mut v = Json::obj();
+        v.push("max_row_acts", max_row_acts);
+        match nbo_bound {
+            Some(bound) => {
+                v.push("nbo_bound", bound)
+                    .push("holds", max_row_acts <= bound);
+            }
+            None => {
+                v.push("nbo_bound", Json::Null).push("holds", Json::Null);
+            }
+        }
+        v
     }
 
     /// The manifest document collected so far (`None` unless enabled).
@@ -217,8 +269,12 @@ impl Lab {
         }
         let mut cfg = self.scale.sim_config(mitigation);
         cfg.heartbeat_every = self.heartbeat_every;
-        cfg.audit = self.audit;
-        let probing = self.epoch_ps.is_some() || self.audit;
+        // Fault injection arms the auditor (and its per-row ACT census) so
+        // the security verdict has shadow state to compare against.
+        cfg.audit = self.audit || self.fault_plan.is_some();
+        cfg.track_row_acts = self.fault_plan.is_some();
+        cfg.watchdog_wall = self.watchdog_wall_secs.map(std::time::Duration::from_secs);
+        let probing = self.epoch_ps.is_some() || cfg.audit;
         let mut telemetry = if self.manifest.is_some() || probing {
             Telemetry::enabled()
         } else {
@@ -230,7 +286,15 @@ impl Lab {
         if self.manifest.is_some() {
             telemetry = telemetry.with_profiler();
         }
-        let report = run_workload_with(&cfg, workload, telemetry.clone());
+        let injector = self
+            .fault_plan
+            .clone()
+            .map(|plan| FaultInjector::new(plan, telemetry.clone()));
+        let report =
+            match try_run_workload_with(&cfg, workload, telemetry.clone(), injector.as_ref()) {
+                Ok(r) => r,
+                Err(err) => self.fatal(&key, &telemetry, &err),
+            };
         if cfg.audit {
             let violations = telemetry.counter("audit.violations");
             if violations > 0 {
@@ -239,10 +303,34 @@ impl Lab {
             }
         }
         self.write_epoch_stream(&key, &telemetry);
-        self.record_run(&mitigation.label(), workload, &cfg, &report, &telemetry);
+        self.record_run(
+            &mitigation.label(),
+            workload,
+            &cfg,
+            &report,
+            &telemetry,
+            injector.as_ref(),
+        );
         self.append_csv(&report);
         self.cache.insert(key, report.clone());
         report
+    }
+
+    /// Terminal error path: flush what the run produced (epoch stream,
+    /// partial manifest) so a crashed sweep still leaves evidence on disk,
+    /// then exit with the error's dedicated code. Never returns.
+    fn fatal(&self, key: &str, telemetry: &Telemetry, err: &SimError) -> ! {
+        eprintln!("error: {err}");
+        self.write_epoch_stream(key, telemetry);
+        if let Some(path) = &self.manifest_path {
+            if self.manifest.is_some() {
+                match self.write_manifest(path) {
+                    Ok(()) => eprintln!("wrote partial manifest to {}", path.display()),
+                    Err(e) => eprintln!("warning: cannot write partial manifest: {e}"),
+                }
+            }
+        }
+        std::process::exit(i32::from(err.exit_code()));
     }
 
     /// Runs that the protocol auditor flagged, as `(mitigation/workload,

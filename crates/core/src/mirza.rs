@@ -5,7 +5,9 @@
 
 use mirza_dram::address::{RegionMap, RowMapping};
 use mirza_dram::geometry::Geometry;
-use mirza_dram::mitigation::{MitigationLog, MitigationStats, Mitigator, RefreshSlice};
+use mirza_dram::mitigation::{
+    DeviceFault, MitigationLog, MitigationStats, Mitigator, RefreshSlice,
+};
 use mirza_dram::time::Ps;
 use mirza_telemetry::{Json, Telemetry};
 
@@ -254,6 +256,57 @@ impl Mitigator for Mirza {
 
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    fn inject_fault(&mut self, fault: &DeviceFault, _now: Ps) -> bool {
+        // Raw selectors are reduced modulo the live structure sizes so the
+        // same fault plan stays meaningful across geometries. Queue faults
+        // re-derive the ALERT level afterwards: a flipped tardiness bit can
+        // raise it, a lost entry can clear it.
+        match *fault {
+            DeviceFault::RctCounterBitFlip { bank, region, bit } => {
+                let Some(rct) = self.rct.as_mut() else {
+                    return false;
+                };
+                let bank = (bank % rct.banks() as u64) as usize;
+                let region = (region % u64::from(rct.regions().regions())) as u32;
+                rct.flip_counter_bit(bank, region, bit);
+                true
+            }
+            DeviceFault::QueueTardinessBitFlip { bank, slot, bit } => {
+                let bank = (bank % self.queues.len() as u64) as usize;
+                let q = &mut self.queues[bank];
+                if q.is_empty() {
+                    return false;
+                }
+                let slot = (slot % q.len() as u64) as usize;
+                let hit = q.flip_count_bit(slot, bit).is_some();
+                self.recompute_alert();
+                hit
+            }
+            DeviceFault::QueueDropEntry { bank, slot } => {
+                let bank = (bank % self.queues.len() as u64) as usize;
+                let q = &mut self.queues[bank];
+                if q.is_empty() {
+                    return false;
+                }
+                let slot = (slot % q.len() as u64) as usize;
+                let hit = q.lose_entry(slot).is_some();
+                self.recompute_alert();
+                hit
+            }
+            DeviceFault::QueueDuplicateEntry { bank, slot } => {
+                let bank = (bank % self.queues.len() as u64) as usize;
+                let q = &mut self.queues[bank];
+                if q.is_empty() {
+                    return false;
+                }
+                let slot = (slot % q.len() as u64) as usize;
+                let hit = q.duplicate_entry(slot).is_some();
+                self.recompute_alert();
+                hit
+            }
+        }
     }
 }
 

@@ -122,6 +122,48 @@ impl MirzaQueue {
             .max_by(|(_, a), (_, b)| a.count.cmp(&b.count).then(b.seq.cmp(&a.seq)))?;
         Some(self.entries.swap_remove(i))
     }
+
+    /// Fault-injection hook (SEU model): flips one bit of the tardiness
+    /// counter of the entry in `slot`, returning `(row, new_count)`. The
+    /// bit index is reduced to the tardiness field's physical width,
+    /// `ceil(log2(QTH+2))` bits (enough to hold the alert value QTH+1).
+    /// `None` when `slot` is unoccupied.
+    pub fn flip_count_bit(&mut self, slot: usize, bit: u32) -> Option<(u32, u32)> {
+        let e = self.entries.get_mut(slot)?;
+        let width = 32 - (self.qth + 1).leading_zeros();
+        e.count ^= 1 << (bit % width.max(1));
+        Some((e.row, e.count))
+    }
+
+    /// Fault-injection hook: silently loses the entry in `slot` (its
+    /// pending mitigation vanishes). `None` when `slot` is unoccupied.
+    pub fn lose_entry(&mut self, slot: usize) -> Option<QueueEntry> {
+        if slot >= self.entries.len() {
+            return None;
+        }
+        Some(self.entries.swap_remove(slot))
+    }
+
+    /// Fault-injection hook: duplicates the entry in `slot` into a free
+    /// slot (control-logic upset), returning the duplicated row. The copy
+    /// gets a fresh `seq`, so `pop_max` drains the copies one at a time;
+    /// [`bump`](Self::bump) touches whichever copy it finds first, which
+    /// keeps `insert`'s no-duplicate precondition intact (a buffered row
+    /// is always bumped, never re-inserted). `None` when `slot` is
+    /// unoccupied or the queue is full.
+    pub fn duplicate_entry(&mut self, slot: usize) -> Option<u32> {
+        if self.is_full() {
+            return None;
+        }
+        let e = *self.entries.get(slot)?;
+        self.entries.push(QueueEntry {
+            row: e.row,
+            count: e.count,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+        Some(e.row)
+    }
 }
 
 #[cfg(test)]
@@ -193,5 +235,23 @@ mod tests {
         let mut q = MirzaQueue::new(4, 16);
         q.insert(5);
         q.insert(5);
+    }
+
+    #[test]
+    fn fault_hooks_mutate_only_occupied_slots() {
+        let mut q = MirzaQueue::new(3, 16);
+        assert_eq!(q.flip_count_bit(0, 0), None);
+        assert_eq!(q.lose_entry(0), None);
+        assert_eq!(q.duplicate_entry(0), None);
+        q.insert(7);
+        // QTH+1 = 17 needs 5 bits; raw bit 9 reduces to 9 % 5 = 4.
+        assert_eq!(q.flip_count_bit(0, 9), Some((7, 1 ^ 16)));
+        assert!(q.wants_alert(), "flipped count 17 > QTH");
+        assert_eq!(q.duplicate_entry(0), Some(7));
+        assert_eq!(q.len(), 2);
+        // Both copies bump-able and drainable; no duplicate-insert panic.
+        assert!(q.bump(7).is_some());
+        assert_eq!(q.lose_entry(1).unwrap().row, 7);
+        assert_eq!(q.len(), 1);
     }
 }

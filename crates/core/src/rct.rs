@@ -114,6 +114,23 @@ impl RegionCountTable {
         self.region_in_refresh
     }
 
+    /// Number of banks the table covers.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Fault-injection hook (SEU model): flips one bit of the counter of
+    /// `region` in `bank` and returns its new value. The bit index is
+    /// reduced to the counter's physical width, `ceil(log2(FTH+2))` bits
+    /// (just enough to hold the saturation value FTH+1), so every flip
+    /// lands in implemented storage.
+    pub fn flip_counter_bit(&mut self, bank: usize, region: u32, bit: u32) -> u32 {
+        let width = 32 - (self.fth + 1).leading_zeros();
+        let i = self.idx(bank, region);
+        self.counters[i] ^= 1 << (bit % width.max(1));
+        self.counters[i]
+    }
+
     fn idx(&self, bank: usize, region: u32) -> usize {
         bank * self.regions.regions() as usize + region as usize
     }
@@ -325,6 +342,15 @@ mod tests {
         assert_eq!(r.observe(0, 5), FilterDecision::Candidate);
         r.on_ref(&slice(1, 8, 16));
         assert_eq!(r.counter(0, 0), 0);
+    }
+
+    #[test]
+    fn counter_bit_flips_stay_in_field_width() {
+        let mut r = rct(10, ResetPolicy::Safe);
+        // FTH+1 = 11 needs 4 bits; raw bit 70 reduces to 70 % 4 = 2.
+        assert_eq!(r.flip_counter_bit(0, 3, 70), 4);
+        assert_eq!(r.counter(0, 3), 4);
+        assert_eq!(r.flip_counter_bit(0, 3, 70), 0, "second flip restores");
     }
 
     #[test]

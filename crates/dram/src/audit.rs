@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use crate::address::RowMapping;
 use crate::command::Command;
 use crate::geometry::Geometry;
 use crate::time::Ps;
@@ -78,6 +79,50 @@ struct ShadowBank {
     last_wr_end: Option<u64>,
 }
 
+/// Optional per-row ACT census for the security verdict: counts ACTs to
+/// each (bank, physical row) since that row's last regular refresh and
+/// tracks the running maximum — the quantity the NBO bound constrains.
+///
+/// The census keeps its *own* shadow refresh-pointer position, derived
+/// only from observed REF commands, so it stays independent of the
+/// device's pointer (which fault injection may corrupt). It deliberately
+/// does not credit targeted victim refreshes performed by the mitigation
+/// engine, making the reported maximum a conservative upper bound.
+#[derive(Debug)]
+struct RowCensus {
+    mapping: RowMapping,
+    rows_per_bank: u32,
+    rows_per_ref: u32,
+    steps_per_walk: u64,
+    /// Shadow refresh-pointer step, advanced on every observed REF.
+    step: u64,
+    /// ACT counts since last refresh, bank-major:
+    /// `counts[bank * rows_per_bank + phys_row]`.
+    counts: Vec<u32>,
+    max_seen: u32,
+}
+
+impl RowCensus {
+    fn on_act(&mut self, flat_bank: usize, row: u32) {
+        let phys = self.mapping.phys_of(row);
+        let idx = flat_bank * self.rows_per_bank as usize + phys as usize;
+        self.counts[idx] += 1;
+        self.max_seen = self.max_seen.max(self.counts[idx]);
+    }
+
+    fn on_ref(&mut self) {
+        let pos = (self.step % self.steps_per_walk) as u32;
+        let start = (pos * self.rows_per_ref) as usize;
+        let span = self.rows_per_ref as usize;
+        let banks = self.counts.len() / self.rows_per_bank as usize;
+        for bank in 0..banks {
+            let base = bank * self.rows_per_bank as usize + start;
+            self.counts[base..base + span].fill(0);
+        }
+        self.step += 1;
+    }
+}
+
 /// Independent re-validator of a sub-channel's command stream.
 #[derive(Debug)]
 pub struct CommandAuditor {
@@ -100,6 +145,8 @@ pub struct CommandAuditor {
     violation_count: u64,
     recent: Vec<Violation>,
     commands_checked: u64,
+    /// Per-row ACT census, when enabled (fault runs / security verdicts).
+    census: Option<RowCensus>,
 }
 
 impl CommandAuditor {
@@ -126,6 +173,45 @@ impl CommandAuditor {
             violation_count: 0,
             recent: Vec::new(),
             commands_checked: 0,
+            census: None,
+        }
+    }
+
+    /// Enables the per-row ACT census used for security verdicts. `mapping`
+    /// is the row translation the metrics/verdict view assumes;
+    /// `rows_per_bank`/`rows_per_ref` mirror the device geometry.
+    ///
+    /// # Panics
+    /// Panics if `rows_per_ref` is zero or does not divide `rows_per_bank`.
+    pub fn enable_row_tracking(
+        &mut self,
+        mapping: RowMapping,
+        rows_per_bank: u32,
+        rows_per_ref: u32,
+    ) {
+        assert!(rows_per_ref > 0 && rows_per_bank.is_multiple_of(rows_per_ref));
+        self.census = Some(RowCensus {
+            mapping,
+            rows_per_bank,
+            rows_per_ref,
+            steps_per_walk: u64::from(rows_per_bank / rows_per_ref),
+            step: 0,
+            counts: vec![0; self.banks.len() * rows_per_bank as usize],
+            max_seen: 0,
+        });
+    }
+
+    /// Maximum ACTs observed to any single row between its refreshes
+    /// (0 when row tracking is disabled).
+    pub fn max_row_acts(&self) -> u32 {
+        self.census.as_ref().map_or(0, |c| c.max_seen)
+    }
+
+    /// Mirrors a refresh-pointer skip fault into the census' shadow
+    /// pointer (the skipped rows keep accumulating, as they do in DRAM).
+    pub fn skip_refresh_steps(&mut self, steps: u32) {
+        if let Some(c) = &mut self.census {
+            c.step += u64::from(steps);
         }
     }
 
@@ -339,6 +425,9 @@ impl CommandAuditor {
             Command::Act { bank, row } => {
                 let flat = self.flat(cmd).expect("ACT has a bank");
                 let rank = bank.rank as usize;
+                if let Some(c) = &mut self.census {
+                    c.on_act(flat, row);
+                }
                 let b = &mut self.banks[flat];
                 b.open_row = Some(row);
                 b.last_act = Some(now);
@@ -380,6 +469,9 @@ impl CommandAuditor {
                 }
                 self.refs_seen += 1;
                 self.refresh_late_flagged = false;
+                if let Some(c) = &mut self.census {
+                    c.on_ref();
+                }
             }
             Command::Rfm { alert } => {
                 let dur = if alert {

@@ -15,7 +15,7 @@ use crate::address::{BankId, RowMapping};
 use crate::audit::CommandAuditor;
 use crate::command::Command;
 use crate::geometry::Geometry;
-use crate::mitigation::{MitigationStats, Mitigator};
+use crate::mitigation::{DeviceFault, MitigationStats, Mitigator};
 use crate::refresh::RefreshPointer;
 use crate::stats::DeviceStats;
 use crate::time::Ps;
@@ -57,6 +57,10 @@ pub struct Subchannel {
     /// must occur before ALERT may re-assert (Section V-D).
     acts_since_alert_service: u64,
     last_issue_at: Ps,
+    /// Fault-injection hook: while `last_issue_at` is before this instant,
+    /// the ALERT_n pin reads deasserted even if the tracker wants a
+    /// back-off (models a dropped/delayed ALERT raise).
+    alert_masked_until: Ps,
     stats: DeviceStats,
     /// ACT counts per (bank, physical subarray) for workload characterization.
     act_hist: Vec<u64>,
@@ -107,6 +111,7 @@ impl Subchannel {
             mitigator,
             acts_since_alert_service: 1, // ALERT may assert immediately
             last_issue_at: Ps::ZERO,
+            alert_masked_until: Ps::ZERO,
             stats: DeviceStats::default(),
             act_hist: vec![0; hist],
             metrics_mapping,
@@ -135,6 +140,23 @@ impl Subchannel {
     /// The protocol auditor, when enabled.
     pub fn auditor(&self) -> Option<&CommandAuditor> {
         self.audit.as_deref()
+    }
+
+    /// Enables per-row ACT tracking in the auditor (enabling the auditor
+    /// itself first if needed), using the device's metrics mapping and
+    /// geometry. Powers the fault-run security verdict.
+    pub fn enable_row_tracking(&mut self) {
+        if self.audit.is_none() {
+            self.enable_audit();
+        }
+        let (mapping, rows, per_ref) = (
+            self.metrics_mapping,
+            self.geom.rows_per_bank,
+            self.geom.rows_per_ref,
+        );
+        if let Some(a) = &mut self.audit {
+            a.enable_row_tracking(mapping, rows, per_ref);
+        }
     }
 
     /// Attaches a telemetry handle (cloned down into the mitigator).
@@ -220,9 +242,37 @@ impl Subchannel {
     }
 
     /// True when the device is asserting ALERT: the mitigator wants a
-    /// back-off and the mandatory post-service ACT has happened.
+    /// back-off and the mandatory post-service ACT has happened. A fault
+    /// mask (see [`Subchannel::mask_alert_until`]) forces it low.
     pub fn alert_asserted(&self) -> bool {
+        if self.last_issue_at < self.alert_masked_until {
+            return false;
+        }
         self.mitigator.alert_pending() && self.acts_since_alert_service >= 1
+    }
+
+    /// Fault-injection hook: suppresses ALERT assertion until device time
+    /// reaches `until` (the tracker's pending state is untouched, so the
+    /// alert reappears once the mask expires — a delayed raise).
+    pub fn mask_alert_until(&mut self, until: Ps) {
+        self.alert_masked_until = self.alert_masked_until.max(until);
+    }
+
+    /// Fault-injection hook: forwards a state fault to the mitigation
+    /// engine; returns whether it changed anything.
+    pub fn inject_fault(&mut self, fault: &DeviceFault, now: Ps) -> bool {
+        self.mitigator.inject_fault(fault, now)
+    }
+
+    /// Fault-injection hook: jumps the refresh pointer forward by `steps`
+    /// REF slots without refreshing the skipped rows. The auditor's row
+    /// census (if any) mirrors the skip so its exposure accounting stays
+    /// honest.
+    pub fn skip_refresh_steps(&mut self, steps: u32) {
+        self.ref_ptr.skip(steps);
+        if let Some(a) = &mut self.audit {
+            a.skip_refresh_steps(steps);
+        }
     }
 
     fn flat(&self, bank: BankId) -> usize {

@@ -102,6 +102,47 @@ impl MitigationLog {
     }
 }
 
+/// A transient fault targeting mitigation-engine state (SEU model).
+///
+/// Selectors (`bank`, `region`, `slot`, `bit`) are raw draws from the
+/// injector's RNG; the engine reduces them modulo its own structure sizes
+/// so the same fault plan stays meaningful across geometries and trackers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// Flip one bit of one RCT counter (bit reduced to the counter width).
+    RctCounterBitFlip {
+        /// Raw bank selector.
+        bank: u64,
+        /// Raw region selector.
+        region: u64,
+        /// Raw bit selector.
+        bit: u32,
+    },
+    /// Flip one bit of a queued entry's tardiness/count field.
+    QueueTardinessBitFlip {
+        /// Raw bank selector.
+        bank: u64,
+        /// Raw occupied-slot selector.
+        slot: u64,
+        /// Raw bit selector.
+        bit: u32,
+    },
+    /// Silently lose one queued entry (a pending mitigation vanishes).
+    QueueDropEntry {
+        /// Raw bank selector.
+        bank: u64,
+        /// Raw occupied-slot selector.
+        slot: u64,
+    },
+    /// Duplicate one queued entry (control-logic upset; wastes capacity).
+    QueueDuplicateEntry {
+        /// Raw bank selector.
+        bank: u64,
+        /// Raw occupied-slot selector.
+        slot: u64,
+    },
+}
+
 /// An in-DRAM Rowhammer mitigation engine for one sub-channel.
 ///
 /// Implementations must be deterministic given their RNG seed; the device
@@ -152,6 +193,14 @@ pub trait Mitigator {
     /// metrics (MIRZA-Q occupancy, tardiness, overflows). Trackers without
     /// internal state to report ignore it.
     fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+
+    /// Applies a transient fault to engine state. Returns `true` when the
+    /// fault actually changed something (e.g. a queue fault on an empty
+    /// queue is a no-op). Trackers without the targeted structure ignore
+    /// the fault and return `false`.
+    fn inject_fault(&mut self, _fault: &DeviceFault, _now: Ps) -> bool {
+        false
+    }
 }
 
 /// The unprotected baseline: observes nothing, mitigates nothing.

@@ -11,6 +11,7 @@
 
 pub mod cache;
 pub mod core;
+pub mod error;
 pub mod paging;
 pub mod trace;
 
@@ -18,6 +19,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::cache::{CacheOutcome, SetAssocCache};
     pub use crate::core::{AccessResult, Core, CoreParams, RunStatus};
+    pub use crate::error::SimError;
     pub use crate::paging::{PageAllocator, PAGE_BYTES};
     pub use crate::trace::{AccessStream, TraceOp, VecStream};
 }

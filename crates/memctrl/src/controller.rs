@@ -7,6 +7,7 @@ use std::collections::VecDeque;
 use mirza_dram::address::BankId;
 use mirza_dram::command::Command;
 use mirza_dram::device::Subchannel;
+use mirza_dram::mitigation::DeviceFault;
 use mirza_dram::time::Ps;
 use mirza_telemetry::{Json, Telemetry};
 
@@ -108,6 +109,24 @@ impl MemController {
     /// The device this controller drives.
     pub fn device(&self) -> &Subchannel {
         &self.device
+    }
+
+    /// Fault-injection hook: forwards a state fault to the device's
+    /// mitigation engine, returning whether it changed anything.
+    pub fn inject_device_fault(&mut self, fault: &DeviceFault, now: Ps) -> bool {
+        self.device.inject_fault(fault, now)
+    }
+
+    /// Fault-injection hook: suppresses the device's ALERT assertion until
+    /// device time reaches `until` (a dropped/delayed raise).
+    pub fn mask_alert_until(&mut self, until: Ps) {
+        self.device.mask_alert_until(until);
+    }
+
+    /// Fault-injection hook: jumps the device's refresh pointer forward by
+    /// `steps` REF slots without refreshing the skipped rows.
+    pub fn skip_refresh_steps(&mut self, steps: u32) {
+        self.device.skip_refresh_steps(steps);
     }
 
     /// Scheduling statistics.

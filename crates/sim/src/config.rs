@@ -197,6 +197,19 @@ pub struct SimConfig {
     /// deliberately excluded from [`SimConfig::to_json`] (audited and
     /// unaudited manifests stay comparable).
     pub audit: bool,
+    /// Enable the auditor's per-row ACT census (security verdicts under
+    /// fault injection). Pure observability; excluded from
+    /// [`SimConfig::to_json`] like `audit`.
+    pub track_row_acts: bool,
+    /// Forward-progress watchdog: abort with `SimError::Watchdog` after
+    /// this many consecutive quanta without retiring/completing anything.
+    /// Excluded from [`SimConfig::to_json`]: it only decides when a broken
+    /// run dies, never what a healthy run computes.
+    pub watchdog_idle_quanta: u64,
+    /// Forward-progress watchdog: optional total wall-clock budget for the
+    /// run; exceeded ⇒ `SimError::Watchdog`. Excluded from
+    /// [`SimConfig::to_json`] for the same reason.
+    pub watchdog_wall: Option<std::time::Duration>,
 }
 
 impl SimConfig {
@@ -217,6 +230,9 @@ impl SimConfig {
             rowpress: false,
             heartbeat_every: None,
             audit: false,
+            track_row_acts: false,
+            watchdog_idle_quanta: 1_000_000,
+            watchdog_wall: None,
         }
     }
 

@@ -11,14 +11,19 @@
 //! overhead, ACTs-per-subarray statistics, ...).
 
 pub mod config;
+pub mod faults;
 pub mod report;
 pub mod runner;
 pub mod system;
 
+pub use mirza_frontend::error::SimError;
+
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::config::{MitigationConfig, SimConfig};
+    pub use crate::faults::{FaultInjector, FaultKind, FaultPlan, PlannedFault};
     pub use crate::report::SimReport;
     pub use crate::runner::{attack_stream, build_traces, run_with_attacker, run_workload};
     pub use crate::system::{CoreSetup, System};
+    pub use crate::SimError;
 }

@@ -11,40 +11,59 @@ use mirza_dram::address::{BankId, DramAddr};
 use mirza_telemetry::Telemetry;
 
 use crate::config::SimConfig;
+use crate::faults::FaultInjector;
 use crate::report::SimReport;
 use crate::system::{CoreSetup, System};
+use crate::SimError;
 
 /// Builds the per-core trace streams for a named Table-IV workload
 /// (single benchmarks run in 8-core rate mode; mixes run one benchmark
 /// per core).
 ///
 /// # Panics
-/// Panics if `workload` is not a Table-IV name.
+/// Panics if `workload` is not a Table-IV name; use [`try_build_traces`]
+/// for user-supplied names.
 pub fn build_traces(
     workload: &str,
     cores: usize,
     seed: u64,
     footprint_divisor: u64,
 ) -> Vec<Box<dyn AccessStream>> {
+    try_build_traces(workload, cores, seed, footprint_divisor).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`build_traces`]: an unresolvable workload name is an error.
+///
+/// # Errors
+/// [`SimError::UnknownWorkload`] when `workload` matches neither a
+/// benchmark nor a mix.
+pub fn try_build_traces(
+    workload: &str,
+    cores: usize,
+    seed: u64,
+    footprint_divisor: u64,
+) -> Result<Vec<Box<dyn AccessStream>>, SimError> {
     let shrink = |mut spec: WorkloadSpec| {
         spec.pages = (spec.pages / footprint_divisor.max(1)).max(1024);
         spec
     };
     if let Some(spec) = WorkloadSpec::by_name(workload) {
-        return (0..cores)
+        return Ok((0..cores)
             .map(|i| {
                 Box::new(SyntheticWorkload::new(
                     shrink(*spec),
                     seed.wrapping_add(i as u64 * 101),
                 )) as Box<dyn AccessStream>
             })
-            .collect();
+            .collect());
     }
     let mix: &MixSpec = TABLE4_MIXES
         .iter()
         .find(|m| m.name == workload)
-        .unwrap_or_else(|| panic!("unknown workload {workload}"));
-    (0..cores)
+        .ok_or_else(|| SimError::UnknownWorkload {
+            name: workload.to_string(),
+        })?;
+    Ok((0..cores)
         .map(|i| {
             let name = mix.cores[i % mix.cores.len()];
             let spec = WorkloadSpec::by_name(name).expect("mix entries validated");
@@ -53,7 +72,7 @@ pub fn build_traces(
                 seed.wrapping_add(i as u64 * 101),
             )) as Box<dyn AccessStream>
         })
-        .collect()
+        .collect())
 }
 
 /// Runs one Table-IV workload under `cfg` and returns the report.
@@ -64,13 +83,89 @@ pub fn run_workload(cfg: &SimConfig, workload: &str) -> SimReport {
 /// [`run_workload`] with a telemetry handle attached to the whole stack
 /// (controllers, devices, mitigation engine).
 pub fn run_workload_with(cfg: &SimConfig, workload: &str, telemetry: Telemetry) -> SimReport {
-    let setups = build_traces(workload, cfg.cores, cfg.seed, cfg.footprint_divisor)
+    try_run_workload_with(cfg, workload, telemetry, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_workload_with`] with optional fault injection: the
+/// injector is ticked every quantum, and when its plan corrupts trace
+/// records every core's stream is wrapped at the frontend boundary.
+///
+/// # Errors
+/// [`SimError::UnknownWorkload`] for a bad name, [`SimError::Watchdog`]
+/// when the run stalls.
+pub fn try_run_workload_with(
+    cfg: &SimConfig,
+    workload: &str,
+    telemetry: Telemetry,
+    faults: Option<&FaultInjector>,
+) -> Result<SimReport, SimError> {
+    let mut streams = try_build_traces(workload, cfg.cores, cfg.seed, cfg.footprint_divisor)?;
+    if let Some(inj) = faults {
+        if inj.corrupts_trace() {
+            streams = streams
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| inj.corrupting(s, i as u32))
+                .collect();
+        }
+    }
+    let setups = streams
         .into_iter()
         .map(|t| CoreSetup::benign(t, cfg.instructions_per_core))
         .collect();
     let mut system = System::new(cfg.clone(), workload, setups);
     system.set_telemetry(telemetry);
-    system.run()
+    if let Some(inj) = faults {
+        system.set_fault_injector(inj.clone());
+    }
+    system.try_run()
+}
+
+/// Replays a plain-text trace file (see `mirza_workloads::tracefile`) on
+/// every core under `cfg`.
+///
+/// # Errors
+/// [`SimError::Io`]/[`SimError::TraceParse`] for an unreadable or
+/// malformed file (naming `path:line`), [`SimError::Watchdog`] when the
+/// run stalls.
+pub fn run_tracefile(
+    cfg: &SimConfig,
+    path: &std::path::Path,
+    telemetry: Telemetry,
+) -> Result<SimReport, SimError> {
+    let ops = mirza_workloads::tracefile::load_nonempty(path)?;
+    let setups = (0..cfg.cores)
+        .map(|_| {
+            CoreSetup::benign(
+                Box::new(VecStream::once(ops.clone())),
+                cfg.instructions_per_core,
+            )
+        })
+        .collect();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let mut system = System::new(cfg.clone(), &name, setups);
+    system.set_telemetry(telemetry);
+    system.try_run()
+}
+
+/// Deliberately stalls: runs `workload` with a zero-width quantum, so no
+/// pass ever makes forward progress and the idle watchdog must fire.
+/// Exists to exercise (and demonstrate) the watchdog path end to end.
+///
+/// # Errors
+/// Always returns [`SimError::Watchdog`] (or the workload-resolution
+/// errors of [`try_build_traces`]).
+pub fn run_stalled(
+    cfg: &SimConfig,
+    workload: &str,
+    telemetry: Telemetry,
+) -> Result<SimReport, SimError> {
+    let mut cfg = cfg.clone();
+    cfg.quantum = mirza_dram::time::Ps::ZERO;
+    try_run_workload_with(&cfg, workload, telemetry, None)
 }
 
 /// Converts a row-level attack pattern on `bank` into an uncached,

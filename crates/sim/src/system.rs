@@ -18,7 +18,9 @@ use mirza_memctrl::request::{AccessKind, Completion, McStats, Request};
 use mirza_telemetry::{Heartbeat, Phase, Telemetry};
 
 use crate::config::SimConfig;
+use crate::faults::FaultInjector;
 use crate::report::SimReport;
+use crate::SimError;
 
 /// Per-core launch description.
 pub struct CoreSetup {
@@ -72,6 +74,7 @@ pub struct System {
     next_token: u64,
     issued_this_pass: bool,
     telemetry: Telemetry,
+    faults: Option<FaultInjector>,
 }
 
 impl std::fmt::Debug for System {
@@ -106,6 +109,9 @@ impl System {
                 if cfg.audit {
                     device.enable_audit();
                 }
+                if cfg.track_row_acts {
+                    device.enable_row_tracking();
+                }
                 MemController::new(device, cfg.mitigation.mc_config(), s)
             })
             .collect();
@@ -138,8 +144,14 @@ impl System {
             next_token: 1,
             issued_this_pass: false,
             telemetry: Telemetry::disabled(),
+            faults: None,
             cfg,
         }
+    }
+
+    /// Installs a fault injector, ticked once per simulation quantum.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
     }
 
     /// Attaches a telemetry handle, cloned down through both memory
@@ -193,23 +205,45 @@ impl System {
     /// Runs to completion and produces the report.
     ///
     /// # Panics
-    /// Panics if the system stops making progress (a scheduling bug).
+    /// Panics if the system stops making progress (a scheduling bug); use
+    /// [`System::try_run`] where a stall should surface as an error.
     pub fn run(&mut self) -> SimReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs to completion and produces the report, or a
+    /// [`SimError::Watchdog`] if forward progress stops (no work retired
+    /// for `cfg.watchdog_idle_quanta` consecutive quanta) or the optional
+    /// `cfg.watchdog_wall` wall-clock budget is exhausted. On the error
+    /// path, per-controller telemetry is flushed and any epoch series is
+    /// closed at the stall boundary, so partial streams stay readable.
+    pub fn try_run(&mut self) -> Result<SimReport, SimError> {
         let quantum = self.cfg.quantum;
         let mut t_end = quantum;
         let mut completions: Vec<Completion> = Vec::new();
         let mut cores = std::mem::take(&mut self.cores);
-        let mut idle_quanta = 0u32;
+        let mut idle_quanta = 0u64;
         let mut heartbeat = self.cfg.heartbeat_every.map(Heartbeat::new);
         // One handle clone up front so profiled closures over `self` don't
-        // fight the borrow checker.
+        // fight the borrow checker (same for the fault injector).
         let tel = self.telemetry.clone();
+        let faults = self.faults.clone();
         let sample_epochs = tel.has_epochs();
+        // The wall clock is only consulted when a budget is configured, so
+        // unbudgeted runs stay bit-for-bit reproducible *and* syscall-free.
+        let wall = self
+            .cfg
+            .watchdog_wall
+            .map(|limit| (std::time::Instant::now(), limit));
+        let mut stalled: Option<String> = None;
         while !cores
             .iter()
             .zip(&self.required)
             .all(|(c, req)| !req || c.finished())
         {
+            if let Some(inj) = &faults {
+                inj.tick(t_end, &mut self.mcs);
+            }
             let mut progressed_in_quantum = false;
             loop {
                 self.issued_this_pass = false;
@@ -246,10 +280,19 @@ impl System {
                 idle_quanta = 0;
             } else {
                 idle_quanta += 1;
-                assert!(
-                    idle_quanta < 1_000_000,
-                    "system deadlocked: no progress for 1M quanta"
-                );
+                if idle_quanta >= self.cfg.watchdog_idle_quanta {
+                    stalled = Some(format!("no forward progress for {idle_quanta} quanta"));
+                    break;
+                }
+            }
+            if let Some((started, limit)) = wall {
+                if started.elapsed() >= limit {
+                    stalled = Some(format!(
+                        "wall-clock budget of {:.1}s exhausted",
+                        limit.as_secs_f64()
+                    ));
+                    break;
+                }
             }
             let p = tel.profile_start();
             if let Some(hb) = heartbeat.as_mut() {
@@ -272,13 +315,36 @@ impl System {
         if sample_epochs {
             // Close the series at the last simulated boundary (emits a
             // trailing partial epoch when the epoch length is not a
-            // multiple of the quantum).
-            tel.epoch_finish((t_end - quantum).as_ps());
+            // multiple of the quantum). A stalled run closes at the stall
+            // boundary itself so the partial stream stays flushable.
+            let boundary = if stalled.is_some() {
+                t_end
+            } else {
+                t_end - quantum
+            };
+            tel.epoch_finish(boundary.as_ps());
+        }
+        if let Some(reason) = stalled {
+            return Err(SimError::Watchdog {
+                reason,
+                instructions: self.cores.iter().map(Core::instructions).sum(),
+                sim_time_ps: t_end.as_ps(),
+            });
+        }
+        if self.cfg.track_row_acts {
+            let max = self
+                .mcs
+                .iter()
+                .filter_map(|mc| mc.device().auditor())
+                .map(|a| u64::from(a.max_row_acts()))
+                .max()
+                .unwrap_or(0);
+            tel.set_counter("audit.max_row_acts", max);
         }
         let p = tel.profile_start();
         let report = self.build_report();
         tel.profile_end(Phase::Report, p);
-        report
+        Ok(report)
     }
 
     /// Refreshes the counters/gauges the epoch sampler snapshots: per-core

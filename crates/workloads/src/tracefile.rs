@@ -14,6 +14,7 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use mirza_frontend::error::SimError;
 use mirza_frontend::trace::TraceOp;
 
 /// A parse failure with its 1-based line number.
@@ -81,14 +82,40 @@ pub fn parse_line(line: &str, lineno: usize) -> Result<Option<TraceOp>, ParseTra
 /// Loads a whole trace file.
 ///
 /// # Errors
-/// I/O failures and malformed records (with line numbers) are reported.
-pub fn load(path: &Path) -> Result<Vec<TraceOp>, Box<dyn std::error::Error>> {
-    let f = BufReader::new(File::open(path)?);
+/// [`SimError::Io`] for open/read failures, [`SimError::TraceParse`]
+/// (naming `path:line`) for malformed records.
+pub fn load(path: &Path) -> Result<Vec<TraceOp>, SimError> {
+    let shown = path.display().to_string();
+    let f = BufReader::new(File::open(path).map_err(|e| SimError::io(&shown, &e))?);
     let mut ops = Vec::new();
     for (i, line) in f.lines().enumerate() {
-        if let Some(op) = parse_line(&line?, i + 1)? {
+        let line = line.map_err(|e| SimError::io(&shown, &e))?;
+        let parsed = parse_line(&line, i + 1).map_err(|e| SimError::TraceParse {
+            path: shown.clone(),
+            line: e.line,
+            reason: e.message,
+        })?;
+        if let Some(op) = parsed {
             ops.push(op);
         }
+    }
+    Ok(ops)
+}
+
+/// [`load`], but a trace with zero records (empty file or comments only)
+/// is itself an error — replaying it would simulate nothing.
+///
+/// # Errors
+/// Everything [`load`] reports, plus [`SimError::TraceParse`] with
+/// `line == 0` for an empty trace.
+pub fn load_nonempty(path: &Path) -> Result<Vec<TraceOp>, SimError> {
+    let ops = load(path)?;
+    if ops.is_empty() {
+        return Err(SimError::TraceParse {
+            path: path.display().to_string(),
+            line: 0,
+            reason: "trace contains no records".into(),
+        });
     }
     Ok(ops)
 }
@@ -168,8 +195,27 @@ mod tests {
     fn load_reports_line_numbers() {
         let path = std::env::temp_dir().join("mirza_trace_badline.trace");
         std::fs::write(&path, "1 0x10 R\nnot a record\n").unwrap();
-        let err = load(&path).unwrap_err().to_string();
-        assert!(err.contains("line 2"), "{err}");
+        let err = load(&path).unwrap_err();
+        assert!(matches!(err, SimError::TraceParse { line: 2, .. }), "{err}");
+        let shown = err.to_string();
+        assert!(shown.contains("badline.trace:2"), "{shown}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = load(Path::new("/nonexistent/mirza.trace")).unwrap_err();
+        assert!(matches!(err, SimError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_an_error_only_for_nonempty_loads() {
+        let path = std::env::temp_dir().join("mirza_trace_empty.trace");
+        std::fs::write(&path, "# only a comment\n\n").unwrap();
+        assert_eq!(load(&path).unwrap(), Vec::new());
+        let err = load_nonempty(&path).unwrap_err();
+        assert!(matches!(err, SimError::TraceParse { line: 0, .. }), "{err}");
+        assert!(err.to_string().contains("no records"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 }

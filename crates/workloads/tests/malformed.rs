@@ -1,0 +1,163 @@
+//! Malformed-input fixtures: every broken trace file must surface as a
+//! structured [`SimError`] naming the offending `path:line` — never a
+//! panic — and a failed load must leave nothing behind on disk.
+
+use std::path::PathBuf;
+
+use mirza_frontend::error::SimError;
+use mirza_workloads::tracefile::{self, parse_line};
+
+/// A fresh fixture directory holding exactly one file named `input.trace`
+/// with the given contents. Dropping it cleans up.
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str, contents: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("mirza_malformed_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("input.trace"), contents).unwrap();
+        Fixture { dir }
+    }
+
+    fn path(&self) -> PathBuf {
+        self.dir.join("input.trace")
+    }
+
+    /// Every file currently in the fixture directory.
+    fn files(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn empty_trace_is_a_structured_error() {
+    let fx = Fixture::new("empty", "# only a comment\n\n");
+    let err = tracefile::load_nonempty(&fx.path()).unwrap_err();
+    match &err {
+        SimError::TraceParse { path, reason, .. } => {
+            assert!(path.contains("input.trace"), "path in {err}");
+            assert!(reason.contains("no records"), "reason in {err}");
+        }
+        other => panic!("expected TraceParse, got {other}"),
+    }
+    assert_eq!(fx.files(), ["input.trace"], "no partial outputs on failure");
+}
+
+#[test]
+fn truncated_last_line_names_its_line_number() {
+    let fx = Fixture::new("trunc", "3 0x1000 R\n2 0x2000 W\n12 0x");
+    let err = tracefile::load(&fx.path()).unwrap_err();
+    match &err {
+        SimError::TraceParse { path, line, .. } => {
+            assert!(path.contains("input.trace"));
+            assert_eq!(*line, 3, "truncated record is on line 3: {err}");
+        }
+        other => panic!("expected TraceParse, got {other}"),
+    }
+    let shown = err.to_string();
+    assert!(shown.contains("input.trace:3"), "message was: {shown}");
+    assert_eq!(fx.files(), ["input.trace"], "no partial outputs on failure");
+}
+
+#[test]
+fn non_numeric_field_is_a_parse_error_not_a_panic() {
+    let fx = Fixture::new("nonnum", "3 0x1000 R\nbanana 0x2000 W\n");
+    let err = tracefile::load(&fx.path()).unwrap_err();
+    match &err {
+        SimError::TraceParse { line, .. } => assert_eq!(*line, 2),
+        other => panic!("expected TraceParse, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 3);
+    assert_eq!(fx.files(), ["input.trace"], "no partial outputs on failure");
+}
+
+#[test]
+fn bad_op_kind_field_is_rejected() {
+    let fx = Fixture::new("badop", "3 0x1000 Q\n");
+    let err = tracefile::load(&fx.path()).unwrap_err();
+    assert!(matches!(err, SimError::TraceParse { line: 1, .. }), "{err}");
+}
+
+#[test]
+fn missing_file_maps_to_io_error_with_exit_code_5() {
+    let err = tracefile::load(std::path::Path::new("/nonexistent/nowhere.trace")).unwrap_err();
+    match &err {
+        SimError::Io { path, .. } => assert!(path.contains("nowhere.trace")),
+        other => panic!("expected Io, got {other}"),
+    }
+    assert_eq!(err.exit_code(), 5);
+}
+
+mod fuzz {
+    //! Satellite fuzz harness: arbitrary byte-level mutations of a valid
+    //! trace must either parse or return an error — never panic.
+
+    use proptest::prelude::*;
+
+    use mirza_workloads::tracefile::parse_line;
+
+    fn valid_trace_text() -> String {
+        (0..64u64)
+            .map(|i| {
+                format!(
+                    "{} {:#x} {}\n",
+                    i % 9,
+                    i * 4096 + 64,
+                    if i % 3 == 0 { 'W' } else { 'R' }
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Flip arbitrary bytes at arbitrary offsets in a valid trace and
+        /// feed every resulting line to the parser.
+        #[test]
+        fn mutated_traces_never_panic(
+            edits in prop::collection::vec((any::<u16>(), any::<u8>()), 1..16usize),
+        ) {
+            let mut bytes = valid_trace_text().into_bytes();
+            for (pos, val) in &edits {
+                let idx = *pos as usize % bytes.len();
+                bytes[idx] = *val;
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            for (i, line) in text.lines().enumerate() {
+                // Ok(Some), Ok(None) and Err are all acceptable; a panic
+                // fails the test.
+                let _ = parse_line(line, i + 1);
+            }
+        }
+
+        /// Pure garbage lines are likewise panic-free.
+        #[test]
+        fn garbage_lines_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64usize)) {
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            let _ = parse_line(&text, 1);
+        }
+    }
+}
+
+// Keep the top-level import used even though the fuzz module has its own.
+#[test]
+fn parse_line_accepts_the_canonical_form() {
+    let op = parse_line("5 0x1040 W", 1).unwrap().unwrap();
+    assert_eq!(op.nonmem, 5);
+    assert_eq!(op.vaddr, 0x1040);
+    assert!(op.is_store);
+}

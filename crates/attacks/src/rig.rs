@@ -1,0 +1,526 @@
+//! Attack rig: replays (strategy, schedule) pairs against any
+//! [`Mitigator`] on a faithful REF/ALERT timeline and judges the outcome
+//! with a [`Victim`] model.
+//!
+//! This module subsumes the original Monte-Carlo engine: the legacy
+//! pattern-based entry points ([`HammerHarness::interval`],
+//! [`HammerHarness::burst`], [`run_hammer`]) are preserved bit-for-bit
+//! (`mirza_security::montecarlo` re-exports them), while
+//! [`HammerHarness::interval_with`] generalizes the slot loop over the
+//! trait axes.
+//!
+//! Accounting (per DESIGN.md): a row's unmitigated count increments on each
+//! of its ACTs and resets when (a) the row is mitigated as an aggressor
+//! (its victims are refreshed), or (b) the refresh-pointer walk refreshes
+//! the row (a <=1-REF-slice approximation of its victims' refresh). The
+//! per-row ledger is a [`RowCensus`]; unlike the command auditor's
+//! conservative census, the rig *credits* targeted mitigations because it
+//! models the mitigation protocol faithfully.
+
+use mirza_dram::address::{MappingScheme, RowMapping};
+use mirza_dram::audit::RowCensus;
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::{Mitigator, RefreshSlice};
+use mirza_dram::refresh::RefreshPointer;
+use mirza_dram::time::Ps;
+use mirza_dram::timing::TimingParams;
+use mirza_workloads::attacks::RowPattern;
+
+use crate::schedule::{Action, Schedule};
+use crate::strategy::AddressStrategy;
+use crate::victim::Victim;
+use crate::Feedback;
+
+/// ACTs the attacker can land during one ALERT prologue (180 ns / tRC).
+pub const PROLOGUE_ACTS: u32 = 3;
+
+/// Activation slots consumed by the ALERT stall (350 ns / tRC, rounded up).
+pub const STALL_SLOTS: u32 = 8;
+
+/// Result of one attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Maximum unmitigated ACTs observed on any row at any instant.
+    pub max_unmitigated_acts: u32,
+    /// Total attacker activations performed.
+    pub total_acts: u64,
+    /// ALERT back-offs serviced.
+    pub alerts: u64,
+    /// REF commands elapsed.
+    pub refs: u64,
+}
+
+/// Outcome of a judged attack run: the raw [`AttackOutcome`] plus the
+/// victim model's verdict against the mitigation's NBO bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackReport {
+    /// Raw run counters.
+    pub outcome: AttackOutcome,
+    /// Maximum unmitigated ACT burden on any row the victim model scores.
+    pub max_row_acts: u32,
+    /// The bound the run was judged against.
+    pub bound: u32,
+    /// Whether `max_row_acts >= bound` per the victim model.
+    pub success: bool,
+}
+
+/// Replays activation patterns against a mitigator with a faithful
+/// REF/ALERT timeline for one bank.
+pub struct HammerHarness<'a> {
+    mitigator: &'a mut dyn Mitigator,
+    bank: usize,
+    census: RowCensus,
+    refptr: RefreshPointer,
+    acts_per_interval: u32,
+    now: Ps,
+    t_rc: Ps,
+    acts_since_alert: u32,
+    slots_since_alert: u64,
+    intervals: u64,
+    last_refresh: Option<RefreshSlice>,
+    outcome: AttackOutcome,
+}
+
+impl<'a> HammerHarness<'a> {
+    /// Creates a harness attacking `bank` of `geom` through `mitigator`.
+    /// The attacker ACT budget per REF interval comes from `timing`
+    /// (`(tREFI - tRFC)/tRC`, 75 for baseline DDR5-6000).
+    pub fn new(
+        mitigator: &'a mut dyn Mitigator,
+        geom: &Geometry,
+        timing: &TimingParams,
+        bank: usize,
+    ) -> Self {
+        let mapping = mitigator
+            .mapping()
+            .copied()
+            .unwrap_or_else(|| RowMapping::for_geometry(MappingScheme::Sequential, geom));
+        let acts_per_interval =
+            ((timing.t_refi.as_ps() - timing.t_rfc.as_ps()) / timing.t_rc.as_ps()) as u32;
+        HammerHarness {
+            mitigator,
+            bank,
+            census: RowCensus::new(mapping, 1, geom.rows_per_bank, geom.rows_per_ref),
+            refptr: RefreshPointer::new(geom.rows_per_bank, geom.rows_per_ref),
+            acts_per_interval,
+            now: Ps::ZERO,
+            t_rc: timing.t_rc,
+            acts_since_alert: 1,
+            slots_since_alert: 0,
+            intervals: 0,
+            last_refresh: None,
+            outcome: AttackOutcome {
+                max_unmitigated_acts: 0,
+                total_acts: 0,
+                alerts: 0,
+                refs: 0,
+            },
+        }
+    }
+
+    /// Attacker ACT slots per REF interval.
+    pub fn acts_per_interval(&self) -> u32 {
+        self.acts_per_interval
+    }
+
+    /// Current unmitigated count of `row`.
+    pub fn count(&self, row: u32) -> u32 {
+        self.census.count(0, row)
+    }
+
+    /// The per-row activation ledger accumulated so far.
+    pub fn census(&self) -> &RowCensus {
+        &self.census
+    }
+
+    /// The feedback an on-device adversary observes right now.
+    pub fn feedback(&self) -> Feedback {
+        Feedback {
+            now: self.now,
+            interval: self.intervals,
+            refs: self.outcome.refs,
+            alerts: self.outcome.alerts,
+            alert_pending: self.mitigator.alert_pending(),
+            acts_since_alert: self.acts_since_alert,
+            slots_since_alert: self.slots_since_alert,
+            total_acts: self.outcome.total_acts,
+            last_refresh: self.last_refresh.clone(),
+        }
+    }
+
+    fn act(&mut self, row: u32) {
+        self.mitigator.on_activate(self.bank, row, self.now);
+        self.now += self.t_rc;
+        self.acts_since_alert += 1;
+        self.slots_since_alert += 1;
+        self.outcome.total_acts += 1;
+        self.census.on_act(0, row);
+    }
+
+    fn apply_mitigations(&mut self) {
+        for (bank, row) in self.mitigator.drain_mitigations() {
+            if bank == self.bank {
+                self.census.credit(0, row);
+            }
+        }
+    }
+
+    /// Services one pending ALERT back-off: stall, RFM, drain.
+    fn service_alert(&mut self, budget: &mut i64) {
+        *budget -= i64::from(STALL_SLOTS);
+        self.now += self.t_rc * u64::from(STALL_SLOTS);
+        self.mitigator.on_rfm(true, self.now);
+        self.outcome.alerts += 1;
+        self.acts_since_alert = 0;
+        self.slots_since_alert = 0;
+        self.apply_mitigations();
+    }
+
+    /// Runs one REF interval of attacker activations from `pattern`,
+    /// honoring the ALERT protocol, then the REF itself.
+    ///
+    /// Equivalent to [`interval_with`] over the pattern and a
+    /// [`Burst`](crate::schedule::Burst) schedule (there is a test pinning
+    /// this).
+    ///
+    /// [`interval_with`]: HammerHarness::interval_with
+    pub fn interval(&mut self, pattern: &mut RowPattern) {
+        let mut budget = i64::from(self.acts_per_interval);
+        while budget > 0 {
+            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
+                for _ in 0..PROLOGUE_ACTS {
+                    if budget > 0 {
+                        let row = pattern.next_act();
+                        self.act(row);
+                        budget -= 1;
+                    }
+                }
+                self.service_alert(&mut budget);
+            } else {
+                let row = pattern.next_act();
+                self.act(row);
+                budget -= 1;
+            }
+        }
+        self.ref_step();
+    }
+
+    /// Runs one REF interval with the trait axes: the schedule decides,
+    /// slot by slot, whether the strategy is asked for an activation. The
+    /// ALERT protocol takes precedence over the schedule (the prologue +
+    /// back-off is a bus-level sequence the attacker cannot opt out of),
+    /// and a pending ALERT is serviced even across idle slots — the memory
+    /// controller issues the RFM whether or not the attacker activates.
+    pub fn interval_with(
+        &mut self,
+        strategy: &mut dyn AddressStrategy,
+        schedule: &mut dyn Schedule,
+    ) {
+        let mut budget = i64::from(self.acts_per_interval);
+        while budget > 0 {
+            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
+                for _ in 0..PROLOGUE_ACTS {
+                    if budget > 0 {
+                        let fb = self.feedback();
+                        let row = strategy.next_row(&fb);
+                        self.act(row);
+                        budget -= 1;
+                    }
+                }
+                self.service_alert(&mut budget);
+            } else {
+                let fb = self.feedback();
+                match schedule.decide(&fb) {
+                    Action::Hammer => {
+                        let row = strategy.next_row(&fb);
+                        self.act(row);
+                        budget -= 1;
+                    }
+                    Action::Idle(n) => {
+                        let n = n.max(1);
+                        budget -= i64::from(n);
+                        self.now += self.t_rc * u64::from(n);
+                        self.slots_since_alert += u64::from(n);
+                        if self.mitigator.alert_pending() {
+                            // The attacker is quiet but the device still
+                            // asserts ALERT: the MC services it anyway.
+                            self.service_alert(&mut budget);
+                        }
+                    }
+                }
+            }
+        }
+        let slice = self.ref_step();
+        strategy.on_ref(&slice);
+    }
+
+    /// Runs one idle REF interval (no attacker ACTs).
+    pub fn idle_interval(&mut self) {
+        self.ref_step();
+    }
+
+    fn ref_step(&mut self) -> RefreshSlice {
+        let slice = self.refptr.advance();
+        self.mitigator.on_ref(&slice, self.now);
+        self.census.on_ref();
+        self.apply_mitigations();
+        self.outcome.refs += 1;
+        self.intervals += 1;
+        self.now += Ps::from_ns(3900);
+        self.last_refresh = Some(slice.clone());
+        slice
+    }
+
+    /// Performs exactly `n` attacker ACTs without advancing refresh
+    /// (scenario scripting helper; regular runs use [`interval`]).
+    ///
+    /// [`interval`]: HammerHarness::interval
+    pub fn burst(&mut self, pattern: &mut RowPattern, n: u32) {
+        for _ in 0..n {
+            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
+                self.mitigator.on_rfm(true, self.now);
+                self.outcome.alerts += 1;
+                self.acts_since_alert = 0;
+                self.slots_since_alert = 0;
+                self.apply_mitigations();
+            }
+            let row = pattern.next_act();
+            self.act(row);
+        }
+    }
+
+    /// Finishes and reports.
+    pub fn finish(mut self) -> AttackOutcome {
+        self.outcome.max_unmitigated_acts = self.census.max_seen();
+        self.outcome
+    }
+}
+
+/// Runs `pattern` flat-out for `refs` REF intervals and reports.
+pub fn run_hammer(
+    mitigator: &mut dyn Mitigator,
+    geom: &Geometry,
+    timing: &TimingParams,
+    bank: usize,
+    pattern: &mut RowPattern,
+    refs: u64,
+) -> AttackOutcome {
+    let mut h = HammerHarness::new(mitigator, geom, timing, bank);
+    for _ in 0..refs {
+        h.interval(pattern);
+    }
+    h.finish()
+}
+
+/// Runs a full composed attack — `strategy` rows on `schedule` timing —
+/// for `refs` REF intervals and judges it with `victim` against `bound`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack(
+    mitigator: &mut dyn Mitigator,
+    geom: &Geometry,
+    timing: &TimingParams,
+    bank: usize,
+    strategy: &mut dyn AddressStrategy,
+    schedule: &mut dyn Schedule,
+    victim: &dyn Victim,
+    bound: u32,
+    refs: u64,
+) -> AttackReport {
+    let mut h = HammerHarness::new(mitigator, geom, timing, bank);
+    for _ in 0..refs {
+        h.interval_with(strategy, schedule);
+    }
+    let max_row_acts = victim.observed_max(h.census());
+    let success = victim.compromised(h.census(), bound);
+    AttackReport {
+        outcome: h.finish(),
+        max_row_acts,
+        bound,
+        success,
+    }
+}
+
+/// A [`RowPattern`] borrowed as an [`AddressStrategy`] without cloning —
+/// lets `interval_with` drive a caller-owned pattern whose cursor state
+/// must persist across calls (the legacy scripting style).
+pub struct PatternRef<'p>(pub &'p mut RowPattern);
+
+impl AddressStrategy for PatternRef<'_> {
+    fn label(&self) -> String {
+        "pattern".into()
+    }
+
+    fn next_row(&mut self, _fb: &Feedback) -> u32 {
+        self.0.next_act()
+    }
+
+    fn target_rows(&self) -> Vec<u32> {
+        self.0.rows().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{AlertAdaptive, Burst, Paced};
+    use crate::strategy::PatternStrategy;
+    use crate::victim::{AnyRow, TargetRows};
+    use mirza_core::config::MirzaConfig;
+    use mirza_core::mirza::Mirza;
+    use mirza_trackers::trr::Trr;
+
+    fn geom() -> Geometry {
+        Geometry::ddr5_32gb()
+    }
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr5_6000()
+    }
+
+    #[test]
+    fn interval_with_burst_matches_legacy_interval() {
+        let cfg = MirzaConfig::trhd_1000();
+        let legacy = {
+            let mut m = Mirza::new(cfg, &geom(), 7);
+            let mapping = *m.mapping().unwrap();
+            let mut pattern = RowPattern::double_sided(&mapping, 5_000);
+            run_hammer(&mut m, &geom(), &timing(), 0, &mut pattern, 512)
+        };
+        let composed = {
+            let mut m = Mirza::new(cfg, &geom(), 7);
+            let mapping = *m.mapping().unwrap();
+            let mut h = HammerHarness::new(&mut m, &geom(), &timing(), 0);
+            let mut s = PatternStrategy::double_sided(&mapping, 5_000);
+            let mut sched = Burst;
+            for _ in 0..512 {
+                h.interval_with(&mut s, &mut sched);
+            }
+            h.finish()
+        };
+        assert_eq!(legacy, composed);
+    }
+
+    #[test]
+    fn paced_schedule_reduces_total_acts() {
+        let cfg = MirzaConfig::trhd_1000();
+        let run = |gap: u32| {
+            let mut m = Mirza::new(cfg, &geom(), 3);
+            let mapping = *m.mapping().unwrap();
+            let mut s = PatternStrategy::double_sided(&mapping, 5_000);
+            let mut sched = Paced::new(gap);
+            run_attack(
+                &mut m,
+                &geom(),
+                &timing(),
+                0,
+                &mut s,
+                &mut sched,
+                &AnyRow,
+                cfg.safe_trhd(),
+                256,
+            )
+        };
+        let flat = run(0);
+        let paced = run(3);
+        assert!(paced.outcome.total_acts < flat.outcome.total_acts / 2);
+        assert!(!flat.success, "MIRZA must bound the paced sweep baseline");
+        assert!(!paced.success);
+    }
+
+    #[test]
+    fn adaptive_schedule_backs_off_after_alerts() {
+        let cfg = MirzaConfig::trhd_1000();
+        let run = |adaptive: bool| {
+            let mut m = Mirza::new(cfg, &geom(), 5);
+            let mapping = *m.mapping().unwrap();
+            let mut s = PatternStrategy::double_sided(&mapping, 5_000);
+            let mut burst = Burst;
+            let mut ad = AlertAdaptive::new(64);
+            let sched: &mut dyn Schedule = if adaptive { &mut ad } else { &mut burst };
+            run_attack(
+                &mut m,
+                &geom(),
+                &timing(),
+                0,
+                &mut s,
+                sched,
+                &AnyRow,
+                cfg.safe_trhd(),
+                1024,
+            )
+        };
+        let flat = run(false);
+        let adaptive = run(true);
+        assert!(
+            adaptive.outcome.total_acts < flat.outcome.total_acts,
+            "cooldowns must cost activations: {} vs {}",
+            adaptive.outcome.total_acts,
+            flat.outcome.total_acts
+        );
+    }
+
+    #[test]
+    fn targeted_victim_sees_through_decoy_mitigations() {
+        // Same decoy construction as the legacy TRR break, expressed via
+        // the trait axes and judged only on the aggressor pair.
+        let mut t = Trr::ddr4_like(&geom());
+        let mut rows = Vec::new();
+        for d in 0..56u32 {
+            rows.push(40_000 + d * 8);
+            rows.push(40_000 + d * 8);
+        }
+        rows.push(20_001);
+        rows.push(20_003);
+        let mut s = PatternStrategy::from_pattern("trr-decoys", RowPattern::circular(rows));
+        let victim = TargetRows::new(vec![20_001, 20_003]);
+        let mut sched = Burst;
+        let report = run_attack(
+            &mut t,
+            &geom(),
+            &timing(),
+            0,
+            &mut s,
+            &mut sched,
+            &victim,
+            4_800,
+            16_384,
+        );
+        assert!(report.success, "aggressor pair must exceed TRR's TRHD");
+        assert!(report.max_row_acts > 4_800);
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical() {
+        let run = || {
+            let cfg = MirzaConfig::trhd_1000();
+            let mut m = Mirza::new(cfg, &geom(), 29);
+            let mapping = *m.mapping().unwrap();
+            let mut s = PatternStrategy::blacksmith(&mapping, 7, 24, 3);
+            let mut sched = Paced::new(1);
+            run_attack(
+                &mut m,
+                &geom(),
+                &timing(),
+                0,
+                &mut s,
+                &mut sched,
+                &AnyRow,
+                cfg.safe_trhd(),
+                512,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pattern_ref_preserves_cursor_state() {
+        let mut p = RowPattern::circular(vec![1, 2, 3]);
+        {
+            let mut r = PatternRef(&mut p);
+            let fb = Feedback::initial();
+            assert_eq!(r.next_row(&fb), 1);
+            assert_eq!(r.next_row(&fb), 2);
+        }
+        assert_eq!(p.next_act(), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! The `Schedule` axis: when an attack activates.
+//!
+//! A schedule is consulted once per ACT slot and answers with an
+//! [`Action`]: hammer now, or sit idle for some slots. Pacing trades raw
+//! activation count against tracker pressure — MINT's sampling probability
+//! and PRAC's ABO threshold both key off ACT density, so the sweet spot is
+//! an empirical question the matrix sweep answers.
+
+use crate::Feedback;
+
+/// What to do with the current ACT slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Issue an activation this slot.
+    Hammer,
+    /// Leave the next `n` slots idle (tRC still elapses per slot).
+    Idle(u32),
+}
+
+/// Decides, slot by slot, whether the attacker activates.
+///
+/// Implementations must be deterministic: the same feedback sequence must
+/// produce the same action sequence.
+pub trait Schedule {
+    /// Stable identifier used in matrix CSV rows and telemetry events.
+    fn label(&self) -> String;
+
+    /// The action for the current slot.
+    fn decide(&mut self, fb: &Feedback) -> Action;
+}
+
+/// Hammer every available slot — the legacy harness behavior and the
+/// strongest untargeted adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Burst;
+
+impl Schedule for Burst {
+    fn label(&self) -> String {
+        "burst".into()
+    }
+
+    fn decide(&mut self, _fb: &Feedback) -> Action {
+        Action::Hammer
+    }
+}
+
+/// Hammer once every `gap + 1` slots: a tunable inter-ACT gap. `gap = 0`
+/// degenerates to [`Burst`]. This is the parameter the matrix sweep
+/// explores.
+#[derive(Debug, Clone, Copy)]
+pub struct Paced {
+    gap: u32,
+    countdown: u32,
+}
+
+impl Paced {
+    /// A pacer with `gap` idle slots between consecutive ACTs.
+    pub fn new(gap: u32) -> Self {
+        Paced { gap, countdown: 0 }
+    }
+
+    /// The configured inter-ACT gap.
+    pub fn gap(&self) -> u32 {
+        self.gap
+    }
+}
+
+impl Schedule for Paced {
+    fn label(&self) -> String {
+        format!("paced-{}", self.gap)
+    }
+
+    fn decide(&mut self, _fb: &Feedback) -> Action {
+        if self.countdown == 0 {
+            self.countdown = self.gap;
+            Action::Hammer
+        } else {
+            let n = self.countdown;
+            self.countdown = 0;
+            Action::Idle(n)
+        }
+    }
+}
+
+/// ALERT-adaptive pacer: hammers flat out, but the moment the tracker
+/// asserts ALERT it goes quiet and stays quiet for `cooldown` slots after
+/// the back-off is serviced. Models an attacker that reads ALERT as a
+/// detection signal and tries to stay under the mitigation's radar.
+#[derive(Debug, Clone, Copy)]
+pub struct AlertAdaptive {
+    cooldown: u64,
+}
+
+impl AlertAdaptive {
+    /// An adaptive pacer that idles while ALERT is pending and for
+    /// `cooldown` further slots after each serviced back-off.
+    pub fn new(cooldown: u64) -> Self {
+        AlertAdaptive { cooldown }
+    }
+}
+
+impl Schedule for AlertAdaptive {
+    fn label(&self) -> String {
+        format!("adaptive-{}", self.cooldown)
+    }
+
+    fn decide(&mut self, fb: &Feedback) -> Action {
+        if fb.alert_pending || (fb.alerts > 0 && fb.slots_since_alert < self.cooldown) {
+            Action::Idle(1)
+        } else {
+            Action::Hammer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_always_hammers() {
+        let mut b = Burst;
+        let fb = Feedback::initial();
+        for _ in 0..8 {
+            assert_eq!(b.decide(&fb), Action::Hammer);
+        }
+    }
+
+    #[test]
+    fn paced_alternates_hammer_and_gap() {
+        let mut p = Paced::new(3);
+        let fb = Feedback::initial();
+        assert_eq!(p.decide(&fb), Action::Hammer);
+        assert_eq!(p.decide(&fb), Action::Idle(3));
+        assert_eq!(p.decide(&fb), Action::Hammer);
+        assert_eq!(p.decide(&fb), Action::Idle(3));
+    }
+
+    #[test]
+    fn paced_zero_gap_is_burst() {
+        let mut p = Paced::new(0);
+        let fb = Feedback::initial();
+        for _ in 0..8 {
+            assert_eq!(p.decide(&fb), Action::Hammer);
+        }
+    }
+
+    #[test]
+    fn adaptive_idles_while_alert_pending_and_through_cooldown() {
+        let mut a = AlertAdaptive::new(4);
+        let mut fb = Feedback::initial();
+        assert_eq!(a.decide(&fb), Action::Hammer);
+        fb.alert_pending = true;
+        assert_eq!(a.decide(&fb), Action::Idle(1));
+        // Back-off serviced: still cooling down.
+        fb.alert_pending = false;
+        fb.alerts = 1;
+        fb.slots_since_alert = 2;
+        assert_eq!(a.decide(&fb), Action::Idle(1));
+        // Cooldown elapsed: resume.
+        fb.slots_since_alert = 4;
+        assert_eq!(a.decide(&fb), Action::Hammer);
+    }
+}

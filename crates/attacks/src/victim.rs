@@ -1,0 +1,124 @@
+//! The `Victim` axis: which rows count as compromised.
+//!
+//! A victim model reduces the rig's per-row [`RowCensus`] to the single
+//! number that matters — the worst unmitigated activation burden any row
+//! of interest ever carried — and compares it with a mitigation's NBO
+//! bound (MIRZA's `safe_trhd`, a tracker's design TRH).
+
+use mirza_dram::audit::RowCensus;
+
+/// Judges an attack run from the rig's per-row activation census.
+pub trait Victim {
+    /// Stable identifier used in matrix CSV rows and telemetry events.
+    fn label(&self) -> String;
+
+    /// The maximum unmitigated ACT count observed on any row this model
+    /// cares about, over the whole run.
+    fn observed_max(&self, census: &RowCensus) -> u32;
+
+    /// Whether the run compromised the victim: the observed burden met or
+    /// exceeded the mitigation's guaranteed bound.
+    fn compromised(&self, census: &RowCensus, bound: u32) -> bool {
+        self.observed_max(census) >= bound
+    }
+}
+
+/// Any row in the bank counts: the conservative model matching the
+/// auditor's `max_row_acts` security verdict.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyRow;
+
+impl Victim for AnyRow {
+    fn label(&self) -> String {
+        "any-row".into()
+    }
+
+    fn observed_max(&self, census: &RowCensus) -> u32 {
+        census.max_seen()
+    }
+}
+
+/// Only the attack's own aggressor rows count: the targeted model for
+/// strategies whose decoy traffic is *supposed* to rack up counts (a decoy
+/// getting mitigated is the defense working, not the attack succeeding).
+#[derive(Debug, Clone)]
+pub struct TargetRows {
+    rows: Vec<u32>,
+}
+
+impl TargetRows {
+    /// A targeted victim model over the given aggressor row addresses.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty (use [`AnyRow`] for untargeted scoring).
+    pub fn new(rows: Vec<u32>) -> Self {
+        assert!(!rows.is_empty(), "targeted victim needs at least one row");
+        TargetRows { rows }
+    }
+}
+
+impl Victim for TargetRows {
+    fn label(&self) -> String {
+        format!("target-{}", self.rows.len())
+    }
+
+    fn observed_max(&self, census: &RowCensus) -> u32 {
+        self.rows
+            .iter()
+            .map(|&r| census.row_max(0, r))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirza_dram::address::{MappingScheme, RowMapping};
+
+    fn census() -> RowCensus {
+        let mapping = RowMapping::new(MappingScheme::Sequential, 64, 8);
+        RowCensus::new(mapping, 1, 64, 16)
+    }
+
+    #[test]
+    fn any_row_tracks_the_global_max() {
+        let mut c = census();
+        for _ in 0..5 {
+            c.on_act(0, 3);
+        }
+        c.on_act(0, 7);
+        assert_eq!(AnyRow.observed_max(&c), 5);
+        assert!(AnyRow.compromised(&c, 5));
+        assert!(!AnyRow.compromised(&c, 6));
+    }
+
+    #[test]
+    fn target_rows_ignores_decoy_burden() {
+        let mut c = census();
+        for _ in 0..9 {
+            c.on_act(0, 3); // decoy
+        }
+        for _ in 0..4 {
+            c.on_act(0, 7); // aggressor
+        }
+        let v = TargetRows::new(vec![7]);
+        assert_eq!(v.observed_max(&c), 4);
+        assert!(!v.compromised(&c, 9));
+        assert!(AnyRow.compromised(&c, 9));
+    }
+
+    #[test]
+    fn target_rows_survive_credit() {
+        let mut c = census();
+        for _ in 0..6 {
+            c.on_act(0, 7);
+        }
+        c.credit(0, 7); // tracker mitigated the aggressor
+        let v = TargetRows::new(vec![7]);
+        // Running count resets, but the historical max is the security
+        // signal — a row that reached the bound was compromised.
+        assert_eq!(c.count(0, 7), 0);
+        assert_eq!(v.observed_max(&c), 6);
+    }
+}

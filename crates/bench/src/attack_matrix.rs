@@ -1,0 +1,590 @@
+//! Attack-matrix sweep: strategy x schedule x mitigator, Monte-Carlo over
+//! seeds (`repro attack-matrix`).
+//!
+//! Each cell of the matrix composes one [`AddressStrategy`], one
+//! [`Schedule`] and one mitigator, runs `trials` seeded trials of the
+//! [`mirza_attacks::rig`], and reports the success probability — the
+//! fraction of trials in which the victim model's worst row met the
+//! mitigation's NBO bound — plus the worst per-row ACT burden observed.
+//! The swept schedule axis includes two pacings of the inter-ACT gap, so
+//! the matrix doubles as a one-parameter sweep (burst, paced-1, paced-4
+//! are gap = 0, 1, 4).
+//!
+//! Determinism: a cell's trials derive their seeds from the cell seed
+//! alone, every strategy draws randomness only from those seeds, and the
+//! rig is RNG-free — so a re-run with the same master seed produces a
+//! bit-identical CSV (there is an integration test pinning this).
+
+use std::fmt::Write as _;
+
+use mirza_attacks::rig::run_attack;
+use mirza_attacks::schedule::{AlertAdaptive, Burst, Paced, Schedule};
+use mirza_attacks::strategy::{
+    AddressStrategy, DecoyFlood, Feinting, PatternStrategy, RefreshSyncStrategy,
+};
+use mirza_attacks::victim::{AnyRow, TargetRows};
+use mirza_core::config::MirzaConfig;
+use mirza_core::mirza::Mirza;
+use mirza_dram::address::{RegionMap, RowMapping};
+use mirza_dram::geometry::Geometry;
+use mirza_dram::mitigation::Mitigator;
+use mirza_dram::timing::TimingParams;
+use mirza_telemetry::{Json, Telemetry};
+use mirza_trackers::mithril::Mithril;
+use mirza_trackers::prac::PracMoat;
+use mirza_trackers::trr::Trr;
+
+use crate::scale::Scale;
+
+/// Fixed CSV header; `scripts/attack_gate.py` fails CI on any drift.
+pub const CSV_HEADER: &str =
+    "strategy,schedule,mitigator,seed,trials,successes,success_prob,max_row_acts,bound,total_acts,alerts";
+
+/// Strategy roster entries: constructors deferred so each trial gets a
+/// fresh instance built from its own derived seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Classic double-sided pair around a mid-bank victim.
+    DoubleSided,
+    /// TRRespass-style many-sided pattern.
+    ManySided,
+    /// Blacksmith-style non-uniform pattern (uses the trial seed).
+    Blacksmith,
+    /// CGF-evading same-region kernel.
+    SameRegion,
+    /// Feinting attack on the mitigation queue.
+    Feint,
+    /// Decoy flood that breaks sampling trackers.
+    DecoyFlood,
+    /// Refresh-pointer chasing attack.
+    RefreshSync,
+}
+
+impl StrategyKind {
+    /// Every implemented strategy.
+    pub fn all() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::DoubleSided,
+            StrategyKind::ManySided,
+            StrategyKind::Blacksmith,
+            StrategyKind::SameRegion,
+            StrategyKind::Feint,
+            StrategyKind::DecoyFlood,
+            StrategyKind::RefreshSync,
+        ]
+    }
+
+    /// Builds the strategy for one trial. Parameters derive from the
+    /// geometry so every scale hosts the pattern.
+    pub fn build(
+        &self,
+        mapping: &RowMapping,
+        regions: &RegionMap,
+        trial_seed: u64,
+    ) -> Box<dyn AddressStrategy> {
+        let rps = mapping.rows_per_subarray();
+        // A mid-bank, mid-subarray victim: away from subarray edges at
+        // every supported shrink.
+        let victim = mapping.rows_per_bank() / 2 + rps / 2;
+        match self {
+            StrategyKind::DoubleSided => Box::new(PatternStrategy::double_sided(mapping, victim)),
+            StrategyKind::ManySided => {
+                let pairs = (rps / 8).max(1);
+                Box::new(PatternStrategy::many_sided(mapping, 3, pairs))
+            }
+            StrategyKind::Blacksmith => {
+                let k = (rps / 4).max(2);
+                Box::new(PatternStrategy::blacksmith(mapping, 5, k, trial_seed))
+            }
+            StrategyKind::SameRegion => {
+                let k = (regions.rows_per_region() / 4).max(2);
+                Box::new(PatternStrategy::same_region(mapping, regions, 3, k))
+            }
+            StrategyKind::Feint => {
+                let feints = (regions.rows_per_region() - 4).clamp(1, 4);
+                Box::new(Feinting::new(mapping, regions, 3, feints, 6))
+            }
+            StrategyKind::DecoyFlood => {
+                let decoys = (mapping.rows_per_bank() / 128).clamp(8, 56);
+                Box::new(DecoyFlood::new(mapping, victim, decoys, 2))
+            }
+            StrategyKind::RefreshSync => Box::new(RefreshSyncStrategy::new(*mapping)),
+        }
+    }
+}
+
+/// Schedule roster entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Hammer every slot.
+    Burst,
+    /// Hammer once every `gap + 1` slots (the swept parameter).
+    Paced(u32),
+    /// Back off while ALERT is asserted plus a cooldown.
+    Adaptive(u64),
+}
+
+impl ScheduleKind {
+    /// The default swept roster: flat-out, two pacings, ALERT-adaptive.
+    pub fn roster() -> Vec<ScheduleKind> {
+        vec![
+            ScheduleKind::Burst,
+            ScheduleKind::Paced(1),
+            ScheduleKind::Paced(4),
+            ScheduleKind::Adaptive(64),
+        ]
+    }
+
+    /// Builds the schedule for one trial.
+    pub fn build(&self) -> Box<dyn Schedule> {
+        match self {
+            ScheduleKind::Burst => Box::new(Burst),
+            ScheduleKind::Paced(gap) => Box::new(Paced::new(*gap)),
+            ScheduleKind::Adaptive(cooldown) => Box::new(AlertAdaptive::new(*cooldown)),
+        }
+    }
+}
+
+/// Mitigator roster entries, with the NBO bound each is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigatorKind {
+    /// MIRZA at the Table VII TRHD=1000 design point (FTH scaled).
+    Mirza1000,
+    /// PRAC + MOAT provisioned for the scaled TRHD.
+    PracMoat,
+    /// Mithril with a 2K-entry (scaled) table.
+    Mithril,
+    /// DDR4-era sampling TRR (known-broken baseline).
+    Trr,
+}
+
+impl MitigatorKind {
+    /// Every implemented mitigator.
+    pub fn all() -> Vec<MitigatorKind> {
+        vec![
+            MitigatorKind::Mirza1000,
+            MitigatorKind::PracMoat,
+            MitigatorKind::Mithril,
+            MitigatorKind::Trr,
+        ]
+    }
+
+    /// Stable CSV label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MitigatorKind::Mirza1000 => "mirza-1000",
+            MitigatorKind::PracMoat => "prac-moat",
+            MitigatorKind::Mithril => "mithril-2k",
+            MitigatorKind::Trr => "trr",
+        }
+    }
+
+    /// Builds the mitigator for one trial and returns it with the bound
+    /// its guarantee promises at this scale. Tracker design thresholds
+    /// divide by `shrink` like every other per-window quantity.
+    pub fn build(
+        &self,
+        scale: &Scale,
+        geom: &Geometry,
+        trial_seed: u64,
+    ) -> (Box<dyn Mitigator>, u32) {
+        let scaled_trh = ((4_800 / scale.shrink) as u32).max(16);
+        match self {
+            MitigatorKind::Mirza1000 => {
+                let cfg = scale.mirza_config(MirzaConfig::trhd_1000());
+                let bound = cfg.safe_trhd();
+                (Box::new(Mirza::new(cfg, geom, trial_seed)), bound)
+            }
+            MitigatorKind::PracMoat => {
+                let trhd = ((1_000 / scale.shrink) as u32).max(16);
+                (Box::new(PracMoat::for_trhd(trhd, geom)), trhd)
+            }
+            MitigatorKind::Mithril => {
+                let entries = (2_048 / scale.shrink as usize).max(64);
+                (Box::new(Mithril::new(entries, 1, geom)), scaled_trh)
+            }
+            MitigatorKind::Trr => (Box::new(Trr::ddr4_like(geom)), scaled_trh),
+        }
+    }
+}
+
+/// One matrix sweep specification.
+#[derive(Debug, Clone)]
+pub struct MatrixSpec {
+    /// Evaluation scale (geometry shrink and master seed).
+    pub scale: Scale,
+    /// Strategy axis.
+    pub strategies: Vec<StrategyKind>,
+    /// Schedule axis.
+    pub schedules: Vec<ScheduleKind>,
+    /// Mitigator axis.
+    pub mitigators: Vec<MitigatorKind>,
+    /// Monte-Carlo cell seeds (derived from the master seed).
+    pub seeds: Vec<u64>,
+    /// Trials per cell.
+    pub trials: u32,
+    /// Full refresh-pointer walks per trial.
+    pub walks: u64,
+}
+
+impl MatrixSpec {
+    /// The standard roster at `scale`: full strategy/schedule/mitigator
+    /// axes, two seeds, three trials per cell, two walks per trial.
+    pub fn for_scale(scale: Scale) -> Self {
+        let seeds = vec![scale.seed, scale.seed.wrapping_add(1)];
+        MatrixSpec {
+            scale,
+            strategies: StrategyKind::all(),
+            schedules: ScheduleKind::roster(),
+            mitigators: MitigatorKind::all(),
+            seeds,
+            trials: 3,
+            walks: 2,
+        }
+    }
+
+    /// Number of matrix cells (rows of the CSV).
+    pub fn cells(&self) -> usize {
+        self.strategies.len() * self.schedules.len() * self.mitigators.len() * self.seeds.len()
+    }
+}
+
+/// One evaluated matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// Strategy label (from the built strategy, so it carries parameters).
+    pub strategy: String,
+    /// Schedule label.
+    pub schedule: String,
+    /// Mitigator label.
+    pub mitigator: &'static str,
+    /// Cell seed.
+    pub seed: u64,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials whose victim reached the bound.
+    pub successes: u32,
+    /// Worst per-row unmitigated ACT burden across trials.
+    pub max_row_acts: u32,
+    /// The bound the cell was judged against.
+    pub bound: u32,
+    /// Attacker ACTs summed over trials.
+    pub total_acts: u64,
+    /// ALERT back-offs summed over trials.
+    pub alerts: u64,
+}
+
+impl MatrixCell {
+    /// Success probability over the cell's trials.
+    pub fn success_prob(&self) -> f64 {
+        f64::from(self.successes) / f64::from(self.trials.max(1))
+    }
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone)]
+pub struct MatrixResult {
+    /// Every cell, in deterministic roster order.
+    pub cells: Vec<MatrixCell>,
+    /// The spec that produced it.
+    pub spec: MatrixSpec,
+}
+
+/// Runs the full matrix. Emits one `attack_cell` event per cell through
+/// `telemetry` (greppable from the JSONL event stream).
+pub fn run_matrix(spec: &MatrixSpec, telemetry: &Telemetry) -> MatrixResult {
+    let geom = spec.scale.geometry();
+    let timing = TimingParams::ddr5_6000();
+    let refs = spec.walks * u64::from(geom.refs_per_full_walk());
+    let regions_per_bank = MirzaConfig::trhd_1000().regions_per_bank;
+    let mut cells = Vec::with_capacity(spec.cells());
+    for strat in &spec.strategies {
+        for sched in &spec.schedules {
+            for mit in &spec.mitigators {
+                for &seed in &spec.seeds {
+                    let cell = run_cell(
+                        spec,
+                        &geom,
+                        &timing,
+                        regions_per_bank,
+                        *strat,
+                        *sched,
+                        *mit,
+                        seed,
+                        refs,
+                    );
+                    telemetry.event(
+                        0,
+                        "attack_cell",
+                        &[
+                            ("strategy", Json::from(cell.strategy.as_str())),
+                            ("schedule", Json::from(cell.schedule.as_str())),
+                            ("mitigator", Json::from(cell.mitigator)),
+                            ("seed", Json::from(cell.seed)),
+                            ("trials", Json::from(cell.trials)),
+                            ("successes", Json::from(cell.successes)),
+                            ("success", Json::from(cell.successes > 0)),
+                            ("max_row_acts", Json::from(cell.max_row_acts)),
+                            ("bound", Json::from(cell.bound)),
+                        ],
+                    );
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    MatrixResult {
+        cells,
+        spec: spec.clone(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    spec: &MatrixSpec,
+    geom: &Geometry,
+    timing: &TimingParams,
+    regions_per_bank: u32,
+    strat: StrategyKind,
+    sched: ScheduleKind,
+    mit: MitigatorKind,
+    seed: u64,
+    refs: u64,
+) -> MatrixCell {
+    let mut successes = 0u32;
+    let mut max_row_acts = 0u32;
+    let mut total_acts = 0u64;
+    let mut alerts = 0u64;
+    let mut bound = 0u32;
+    let mut strategy_label = String::new();
+    let mut schedule_label = String::new();
+    for trial in 0..spec.trials {
+        let trial_seed = seed.wrapping_mul(1_000).wrapping_add(u64::from(trial));
+        let (mut mitigator, cell_bound) = mit.build(&spec.scale, geom, trial_seed);
+        bound = cell_bound;
+        // Strategies address rows through the mitigator's own mapping when
+        // it exposes one (MIRZA randomizes R2SA), else the plain geometry.
+        let mapping = mitigator
+            .mapping()
+            .copied()
+            .unwrap_or_else(|| RowMapping::for_geometry(Default::default(), geom));
+        let regions = RegionMap::new(geom.rows_per_bank, regions_per_bank);
+        let mut strategy = strat.build(&mapping, &regions, trial_seed);
+        let mut schedule = sched.build();
+        strategy_label = strategy.label();
+        schedule_label = schedule.label();
+        let targets = strategy.target_rows();
+        let report = if targets.is_empty() {
+            run_attack(
+                mitigator.as_mut(),
+                geom,
+                timing,
+                0,
+                strategy.as_mut(),
+                schedule.as_mut(),
+                &AnyRow,
+                cell_bound,
+                refs,
+            )
+        } else {
+            run_attack(
+                mitigator.as_mut(),
+                geom,
+                timing,
+                0,
+                strategy.as_mut(),
+                schedule.as_mut(),
+                &TargetRows::new(targets),
+                cell_bound,
+                refs,
+            )
+        };
+        if report.success {
+            successes += 1;
+        }
+        max_row_acts = max_row_acts.max(report.max_row_acts);
+        total_acts += report.outcome.total_acts;
+        alerts += report.outcome.alerts;
+    }
+    MatrixCell {
+        strategy: strategy_label,
+        schedule: schedule_label,
+        mitigator: mit.label(),
+        seed,
+        trials: spec.trials,
+        successes,
+        max_row_acts,
+        bound,
+        total_acts,
+        alerts,
+    }
+}
+
+impl MatrixResult {
+    /// Serializes the matrix as CSV with the pinned [`CSV_HEADER`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.4},{},{},{},{}",
+                c.strategy,
+                c.schedule,
+                c.mitigator,
+                c.seed,
+                c.trials,
+                c.successes,
+                c.success_prob(),
+                c.max_row_acts,
+                c.bound,
+                c.total_acts,
+                c.alerts
+            );
+        }
+        out
+    }
+
+    /// Human-readable summary: per (strategy, mitigator), the schedules
+    /// that succeeded, worst burden vs bound.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "Attack matrix: {} cells ({} strategies x {} schedules x {} mitigators x {} seeds, {} trials each)\n\
+             strategy             schedule      mitigator    p(success)  max row ACTs  bound\n",
+            self.cells.len(),
+            self.spec.strategies.len(),
+            self.spec.schedules.len(),
+            self.spec.mitigators.len(),
+            self.spec.seeds.len(),
+            self.spec.trials,
+        );
+        // One line per (strategy, schedule, mitigator): pool the seeds.
+        let mut i = 0;
+        while i < self.cells.len() {
+            let group_end = i + self.spec.seeds.len().min(self.cells.len() - i);
+            let group = &self.cells[i..group_end];
+            let first = &group[0];
+            let trials: u32 = group.iter().map(|c| c.trials).sum();
+            let successes: u32 = group.iter().map(|c| c.successes).sum();
+            let max: u32 = group.iter().map(|c| c.max_row_acts).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<20} {:<13} {:<12} {:>9.2}   {:>12}  {:>5}",
+                first.strategy,
+                first.schedule,
+                first.mitigator,
+                f64::from(successes) / f64::from(trials.max(1)),
+                max,
+                first.bound,
+            );
+            i = group_end;
+        }
+        let broken: Vec<&MatrixCell> = self.cells.iter().filter(|c| c.successes > 0).collect();
+        let _ = writeln!(
+            out,
+            "\n{} of {} cells compromised their mitigator",
+            broken.len(),
+            self.cells.len()
+        );
+        out
+    }
+
+    /// JSON summary for run manifests.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut j = Json::obj();
+                j.push("strategy", c.strategy.as_str())
+                    .push("schedule", c.schedule.as_str())
+                    .push("mitigator", c.mitigator)
+                    .push("seed", c.seed)
+                    .push("trials", c.trials)
+                    .push("successes", c.successes)
+                    .push("success_prob", c.success_prob())
+                    .push("max_row_acts", c.max_row_acts)
+                    .push("bound", c.bound)
+                    .push("total_acts", c.total_acts)
+                    .push("alerts", c.alerts);
+                j
+            })
+            .collect();
+        doc.push("scale", self.spec.scale.to_json())
+            .push("cells", cells);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> MatrixSpec {
+        let mut spec = MatrixSpec::for_scale(Scale::smoke());
+        spec.strategies = vec![StrategyKind::DoubleSided, StrategyKind::DecoyFlood];
+        spec.schedules = vec![ScheduleKind::Burst, ScheduleKind::Paced(4)];
+        spec.mitigators = vec![MitigatorKind::Mirza1000, MitigatorKind::Trr];
+        spec.seeds = vec![1];
+        spec.trials = 1;
+        spec.walks = 1;
+        spec
+    }
+
+    #[test]
+    fn matrix_covers_the_roster() {
+        let spec = tiny_spec();
+        let r = run_matrix(&spec, &Telemetry::disabled());
+        assert_eq!(r.cells.len(), spec.cells());
+        let csv = r.to_csv();
+        assert!(csv.starts_with(CSV_HEADER));
+        assert_eq!(csv.lines().count(), 1 + spec.cells());
+    }
+
+    #[test]
+    fn mirza_holds_where_trr_breaks() {
+        let spec = tiny_spec();
+        let r = run_matrix(&spec, &Telemetry::disabled());
+        let cell = |strategy: &str, mitigator: &str, schedule: &str| {
+            r.cells
+                .iter()
+                .find(|c| {
+                    c.strategy.starts_with(strategy)
+                        && c.mitigator == mitigator
+                        && c.schedule == schedule
+                })
+                .unwrap()
+        };
+        assert_eq!(cell("double-sided", "mirza-1000", "burst").successes, 0);
+        assert!(
+            cell("decoy", "trr", "burst").successes > 0,
+            "decoy flood must break sampling TRR: {:?}",
+            cell("decoy", "trr", "burst")
+        );
+    }
+
+    #[test]
+    fn default_fast_spec_meets_the_issue_floor() {
+        let spec = MatrixSpec::for_scale(Scale::fast());
+        assert!(spec.cells() >= 48);
+        assert!(spec.strategies.len() >= 4);
+        assert!(spec.schedules.len() >= 3);
+        assert!(spec.mitigators.len() >= 2);
+        assert!(spec.seeds.len() >= 2);
+    }
+
+    #[test]
+    fn attack_cell_events_are_emitted() {
+        let mut spec = tiny_spec();
+        spec.strategies = vec![StrategyKind::DoubleSided];
+        spec.schedules = vec![ScheduleKind::Burst];
+        spec.mitigators = vec![MitigatorKind::Trr];
+        let t = Telemetry::enabled();
+        let _ = run_matrix(&spec, &t);
+        let n = t
+            .with_recorder(|r| r.event_counts.get("attack_cell").copied())
+            .unwrap();
+        assert_eq!(n, Some(spec.cells() as u64));
+    }
+}

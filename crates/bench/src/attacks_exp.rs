@@ -4,6 +4,10 @@
 
 use std::fmt::Write as _;
 
+use mirza_attacks::rig::{run_attack, run_hammer, HammerHarness};
+use mirza_attacks::schedule::Burst;
+use mirza_attacks::strategy::PatternStrategy;
+use mirza_attacks::victim::AnyRow;
 use mirza_core::config::MirzaConfig;
 use mirza_core::mirza::Mirza;
 use mirza_core::rct::ResetPolicy;
@@ -11,7 +15,6 @@ use mirza_dram::address::BankId;
 use mirza_dram::geometry::Geometry;
 use mirza_dram::mitigation::Mitigator;
 use mirza_dram::timing::TimingParams;
-use mirza_security::montecarlo::{run_hammer, HammerHarness};
 use mirza_sim::runner::{run_with_attacker, run_workload};
 use mirza_trackers::mithril::Mithril;
 use mirza_trackers::prac::PracMoat;
@@ -133,7 +136,10 @@ pub fn security_sweep(windows: u64) -> String {
         let _ = writeln!(out, "{name:<14} {pattern:<16} {max:<10} {bound:<9} {holds}");
     };
 
-    // MIRZA at each Table VII threshold, double-sided.
+    // MIRZA at each Table VII threshold, double-sided — expressed through
+    // the composed strategy/schedule API (a Burst schedule over a pattern
+    // strategy replays the legacy flat-out loop bit-for-bit; the rig has a
+    // test pinning the equivalence).
     for cfg in [
         MirzaConfig::trhd_500(),
         MirzaConfig::trhd_1000(),
@@ -141,12 +147,22 @@ pub fn security_sweep(windows: u64) -> String {
     ] {
         let mut m = Mirza::new(cfg, &geom, 7);
         let mapping = *m.mapping().expect("mapping");
-        let mut p = RowPattern::double_sided(&mapping, 5_000);
-        let o = run_hammer(&mut m, &geom, &timing, 0, &mut p, refs);
+        let mut strategy = PatternStrategy::double_sided(&mapping, 5_000);
+        let o = run_attack(
+            &mut m,
+            &geom,
+            &timing,
+            0,
+            &mut strategy,
+            &mut Burst,
+            &AnyRow,
+            cfg.safe_trhd(),
+            refs,
+        );
         report(
             &format!("mirza-{}", cfg.target_trhd),
             "double-sided",
-            o.max_unmitigated_acts,
+            o.outcome.max_unmitigated_acts,
             cfg.safe_trhd(),
         );
     }

@@ -10,7 +10,7 @@
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
 //!   table10 table11 table12 table13
 //!   fig3 fig6 fig9 fig11a fig11b fig13 fig14
-//!   security dos-sim watchdog-demo
+//!   security dos-sim attack-matrix watchdog-demo
 //! ```
 //!
 //! `--fast` (default) runs the self-consistent 1/16-scaled setup; `--full`
@@ -40,6 +40,7 @@
 use std::process::ExitCode;
 
 use mirza_bench::analytic;
+use mirza_bench::attack_matrix::{run_matrix, MatrixSpec};
 use mirza_bench::attacks_exp;
 use mirza_bench::compare::compare_manifests;
 use mirza_bench::experiments;
@@ -50,7 +51,7 @@ use mirza_sim::config::MitigationConfig;
 use mirza_sim::faults::{FaultPlan, CANNED_PLANS};
 use mirza_sim::runner::{run_stalled, run_tracefile};
 use mirza_sim::SimError;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{EventSink, Json, Telemetry};
 
 const SIM_EXPERIMENTS: &[&str] = &[
     // Ordered so the cheapest, highest-value experiments complete first;
@@ -62,6 +63,9 @@ const ANALYTIC_EXPERIMENTS: &[&str] = &[
     "table1", "table2", "table3", "table7", "fig9", "table10", "table11", "table12",
 ];
 const ATTACK_EXPERIMENTS: &[&str] = &["fig14", "security"];
+// Deliberately not part of `all`: keeps `--compare` manifests and the CI
+// bench gate bit-identical to the pre-framework baselines.
+const MATRIX_EXPERIMENTS: &[&str] = &["attack-matrix"];
 const EXTENSION_EXPERIMENTS: &[&str] = &[
     "ablation-mapping",
     "ablation-qth",
@@ -109,11 +113,12 @@ fn usage() -> ExitCode {
          [--seed N] [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
          [--strict-audit] [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS] \
          [--list] [--quiet]\n\
-         experiments: {} {} {} {} watchdog-demo\n\
+         experiments: {} {} {} {} {} watchdog-demo\n\
          fault plans: {} (tunable as name:key=value,...)",
         ANALYTIC_EXPERIMENTS.join(" "),
         SIM_EXPERIMENTS.join(" "),
         ATTACK_EXPERIMENTS.join(" "),
+        MATRIX_EXPERIMENTS.join(" "),
         EXTENSION_EXPERIMENTS.join(" "),
         CANNED_PLANS.join(" "),
     );
@@ -163,6 +168,58 @@ fn watchdog_demo(scale: Scale) -> ExitCode {
     }
 }
 
+/// Runs the strategy x schedule x mitigator sweep. Writes the per-cell
+/// CSV (default `results/attack_matrix.csv`, `--csv` overrides), a JSONL
+/// `attack_cell` event stream next to it, and — with `--json` — a
+/// manifest-style summary. Fully deterministic for a fixed `--seed`.
+fn attack_matrix_cmd(
+    scale: Scale,
+    csv: Option<std::path::PathBuf>,
+    json: Option<std::path::PathBuf>,
+    verbose: bool,
+) -> ExitCode {
+    let spec = MatrixSpec::for_scale(scale);
+    let csv_path = csv.unwrap_or_else(|| std::path::PathBuf::from("results/attack_matrix.csv"));
+    let events_path = csv_path.with_file_name("attack_events.jsonl");
+    if let Some(dir) = csv_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let events_file = match std::fs::File::create(&events_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot create {}: {e}", events_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry = Telemetry::enabled().with_events(EventSink::new(Box::new(
+        std::io::BufWriter::new(events_file),
+    )));
+    let result = run_matrix(&spec, &telemetry);
+    if let Err(e) = std::fs::write(&csv_path, result.to_csv()) {
+        eprintln!("error: cannot write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, result.to_json().to_string_pretty()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", result.summary());
+    if verbose {
+        eprintln!(
+            "wrote {} ({} cells) and {}",
+            csv_path.display(),
+            result.cells.len(),
+            events_path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn list_experiments() -> ExitCode {
     for (category, names) in [
         (
@@ -171,6 +228,7 @@ fn list_experiments() -> ExitCode {
         ),
         ("simulation (run by `all`)", SIM_EXPERIMENTS),
         ("attack (run by `all`)", ATTACK_EXPERIMENTS),
+        ("attack matrix (standalone)", MATRIX_EXPERIMENTS),
         ("extensions (run by `ablations`)", EXTENSION_EXPERIMENTS),
     ] {
         println!("{category}:");
@@ -259,6 +317,9 @@ fn main() -> ExitCode {
     }
     if target == "watchdog-demo" {
         return watchdog_demo(scale);
+    }
+    if target == "attack-matrix" {
+        return attack_matrix_cmd(scale, csv, json, verbose);
     }
     let mut lab = Lab::new(scale);
     lab.fault_plan = fault_plan;

@@ -9,6 +9,8 @@
 //!   11a, 11b, 13 (full-system simulation, memoized in a [`lab::Lab`]).
 //! * [`attacks_exp`] — Figure 14 (reset policies), the security sweep, and
 //!   the simulated DoS cross-check of Table XI.
+//! * [`attack_matrix`] — the strategy x schedule x mitigator sweep over
+//!   the composable attack framework (`repro attack-matrix`).
 //! * [`extensions`] — ablations beyond the published tables (mapping, QTH,
 //!   queue capacity, region count, PARA comparison).
 //! * [`scale`] — the consistent 1/N scaling of the evaluation setup
@@ -17,6 +19,7 @@
 //!   the CI bench gate.
 
 pub mod analytic;
+pub mod attack_matrix;
 pub mod attacks_exp;
 pub mod compare;
 pub mod experiments;

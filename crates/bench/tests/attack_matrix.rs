@@ -1,0 +1,72 @@
+//! Integration tests for the attack-matrix sweep: same-seed determinism of
+//! the CSV artifact and purity (running the matrix must not perturb the
+//! baseline experiments).
+
+use mirza_bench::attack_matrix::{
+    run_matrix, MatrixSpec, MitigatorKind, ScheduleKind, StrategyKind, CSV_HEADER,
+};
+use mirza_bench::experiments;
+use mirza_bench::lab::Lab;
+use mirza_bench::scale::Scale;
+use mirza_telemetry::Telemetry;
+
+fn small_spec(seed: u64) -> MatrixSpec {
+    let mut scale = Scale::smoke();
+    scale.seed = seed;
+    let mut spec = MatrixSpec::for_scale(scale);
+    // Trim to one representative per axis quadrant so the determinism run
+    // stays sub-second; full rosters are covered by the CLI smoke job.
+    spec.strategies = vec![
+        StrategyKind::DoubleSided,
+        StrategyKind::Blacksmith,
+        StrategyKind::DecoyFlood,
+    ];
+    spec.schedules = vec![ScheduleKind::Burst, ScheduleKind::Paced(2)];
+    spec.mitigators = vec![MitigatorKind::Mirza1000, MitigatorKind::Trr];
+    spec.trials = 2;
+    spec.walks = 1;
+    spec
+}
+
+#[test]
+fn same_seed_matrix_runs_are_bit_identical() {
+    let a = run_matrix(&small_spec(7), &Telemetry::disabled()).to_csv();
+    let b = run_matrix(&small_spec(7), &Telemetry::disabled()).to_csv();
+    assert_eq!(a, b, "same-seed sweeps must replay bit-identically");
+    let c = run_matrix(&small_spec(8), &Telemetry::disabled()).to_csv();
+    assert_ne!(a, c, "the seed must actually steer the Monte-Carlo runs");
+}
+
+#[test]
+fn csv_schema_is_pinned() {
+    let csv = run_matrix(&small_spec(7), &Telemetry::disabled()).to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(CSV_HEADER));
+    for line in lines {
+        assert_eq!(
+            line.split(',').count(),
+            CSV_HEADER.split(',').count(),
+            "row arity must match the header: {line}"
+        );
+    }
+}
+
+#[test]
+fn matrix_run_leaves_baseline_experiments_untouched() {
+    // The acceptance bar: with the attack subsystem exercised in the same
+    // process, the canonical table4 output is bit-identical to a run that
+    // never touched it. Smoke scale keeps this test in seconds.
+    let before = {
+        let mut lab = Lab::new(Scale::smoke());
+        experiments::table4(&mut lab)
+    };
+    let _ = run_matrix(&small_spec(7), &Telemetry::disabled());
+    let after = {
+        let mut lab = Lab::new(Scale::smoke());
+        experiments::table4(&mut lab)
+    };
+    assert_eq!(
+        before, after,
+        "attack-matrix execution must not perturb table4"
+    );
+}

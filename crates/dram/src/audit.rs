@@ -79,17 +79,20 @@ struct ShadowBank {
     last_wr_end: Option<u64>,
 }
 
-/// Optional per-row ACT census for the security verdict: counts ACTs to
-/// each (bank, physical row) since that row's last regular refresh and
-/// tracks the running maximum — the quantity the NBO bound constrains.
+/// Per-row ACT census: counts ACTs to each (bank, physical row) since that
+/// row's last regular refresh and tracks running maxima — the quantity the
+/// NBO bound constrains.
 ///
 /// The census keeps its *own* shadow refresh-pointer position, derived
 /// only from observed REF commands, so it stays independent of the
-/// device's pointer (which fault injection may corrupt). It deliberately
-/// does not credit targeted victim refreshes performed by the mitigation
-/// engine, making the reported maximum a conservative upper bound.
-#[derive(Debug)]
-struct RowCensus {
+/// device's pointer (which fault injection may corrupt). When used by the
+/// [`CommandAuditor`] it deliberately does not credit targeted victim
+/// refreshes performed by the mitigation engine, making the reported
+/// maximum a conservative upper bound; attack harnesses that model the
+/// mitigation protocol faithfully may call [`RowCensus::credit`] to reset
+/// a mitigated aggressor's count.
+#[derive(Debug, Clone)]
+pub struct RowCensus {
     mapping: RowMapping,
     rows_per_bank: u32,
     rows_per_ref: u32,
@@ -99,18 +102,49 @@ struct RowCensus {
     /// ACT counts since last refresh, bank-major:
     /// `counts[bank * rows_per_bank + phys_row]`.
     counts: Vec<u32>,
+    /// Running per-row maximum of `counts` (same indexing).
+    max_counts: Vec<u32>,
     max_seen: u32,
 }
 
 impl RowCensus {
-    fn on_act(&mut self, flat_bank: usize, row: u32) {
-        let phys = self.mapping.phys_of(row);
-        let idx = flat_bank * self.rows_per_bank as usize + phys as usize;
+    /// A census over `banks` banks of `rows_per_bank` rows, refreshed
+    /// `rows_per_ref` rows per REF. `mapping` translates the row addresses
+    /// fed to [`RowCensus::on_act`] into physical indices.
+    ///
+    /// # Panics
+    /// Panics if `rows_per_ref` is zero or does not divide `rows_per_bank`.
+    pub fn new(mapping: RowMapping, banks: usize, rows_per_bank: u32, rows_per_ref: u32) -> Self {
+        assert!(rows_per_ref > 0 && rows_per_bank.is_multiple_of(rows_per_ref));
+        RowCensus {
+            mapping,
+            rows_per_bank,
+            rows_per_ref,
+            steps_per_walk: u64::from(rows_per_bank / rows_per_ref),
+            step: 0,
+            counts: vec![0; banks * rows_per_bank as usize],
+            max_counts: vec![0; banks * rows_per_bank as usize],
+            max_seen: 0,
+        }
+    }
+
+    fn idx(&self, bank: usize, phys: u32) -> usize {
+        bank * self.rows_per_bank as usize + phys as usize
+    }
+
+    /// Records an ACT of row address `row` in `bank`.
+    pub fn on_act(&mut self, bank: usize, row: u32) {
+        let idx = self.idx(bank, self.mapping.phys_of(row));
         self.counts[idx] += 1;
+        if self.counts[idx] > self.max_counts[idx] {
+            self.max_counts[idx] = self.counts[idx];
+        }
         self.max_seen = self.max_seen.max(self.counts[idx]);
     }
 
-    fn on_ref(&mut self) {
+    /// Advances the shadow refresh pointer one step, clearing the counts of
+    /// the refreshed physical rows in every bank.
+    pub fn on_ref(&mut self) {
         let pos = (self.step % self.steps_per_walk) as u32;
         let start = (pos * self.rows_per_ref) as usize;
         let span = self.rows_per_ref as usize;
@@ -120,6 +154,50 @@ impl RowCensus {
             self.counts[base..base + span].fill(0);
         }
         self.step += 1;
+    }
+
+    /// Skips `steps` refresh-pointer steps (mirrors a refresh-skip fault:
+    /// the skipped rows keep accumulating, as they would in DRAM).
+    pub fn skip(&mut self, steps: u32) {
+        self.step += u64::from(steps);
+    }
+
+    /// Credits a mitigation of aggressor row address `row` in `bank`: its
+    /// victims were refreshed, so the row's unmitigated count resets. The
+    /// per-row maximum is kept.
+    pub fn credit(&mut self, bank: usize, row: u32) {
+        let idx = self.idx(bank, self.mapping.phys_of(row));
+        self.counts[idx] = 0;
+    }
+
+    /// Current count of row address `row` in `bank`.
+    pub fn count(&self, bank: usize, row: u32) -> u32 {
+        self.counts[self.idx(bank, self.mapping.phys_of(row))]
+    }
+
+    /// Running maximum count of row address `row` in `bank`.
+    pub fn row_max(&self, bank: usize, row: u32) -> u32 {
+        self.max_counts[self.idx(bank, self.mapping.phys_of(row))]
+    }
+
+    /// Running maximum count of *physical* row `phys` in `bank`.
+    pub fn row_max_phys(&self, bank: usize, phys: u32) -> u32 {
+        self.max_counts[self.idx(bank, phys)]
+    }
+
+    /// Maximum count ever observed on any row.
+    pub fn max_seen(&self) -> u32 {
+        self.max_seen
+    }
+
+    /// The row translation the census assumes.
+    pub fn mapping(&self) -> &RowMapping {
+        &self.mapping
+    }
+
+    /// Banks covered by the census.
+    pub fn banks(&self) -> usize {
+        self.counts.len() / self.rows_per_bank as usize
     }
 }
 
@@ -189,29 +267,25 @@ impl CommandAuditor {
         rows_per_bank: u32,
         rows_per_ref: u32,
     ) {
-        assert!(rows_per_ref > 0 && rows_per_bank.is_multiple_of(rows_per_ref));
-        self.census = Some(RowCensus {
+        self.census = Some(RowCensus::new(
             mapping,
+            self.banks.len(),
             rows_per_bank,
             rows_per_ref,
-            steps_per_walk: u64::from(rows_per_bank / rows_per_ref),
-            step: 0,
-            counts: vec![0; self.banks.len() * rows_per_bank as usize],
-            max_seen: 0,
-        });
+        ));
     }
 
     /// Maximum ACTs observed to any single row between its refreshes
     /// (0 when row tracking is disabled).
     pub fn max_row_acts(&self) -> u32 {
-        self.census.as_ref().map_or(0, |c| c.max_seen)
+        self.census.as_ref().map_or(0, RowCensus::max_seen)
     }
 
     /// Mirrors a refresh-pointer skip fault into the census' shadow
     /// pointer (the skipped rows keep accumulating, as they do in DRAM).
     pub fn skip_refresh_steps(&mut self, steps: u32) {
         if let Some(c) = &mut self.census {
-            c.step += u64::from(steps);
+            c.skip(steps);
         }
     }
 

@@ -1,205 +1,23 @@
 //! Monte-Carlo attack engine: replays worst-case activation patterns
-//! against any [`Mitigator`] and measures the maximum number of unmitigated
-//! activations any row accrues (the quantity bounded by Section VI's
-//! `TRH_safe` equations).
+//! against any [`Mitigator`](mirza_dram::mitigation::Mitigator) and
+//! measures the maximum number of unmitigated activations any row accrues
+//! (the quantity bounded by Section VI's `TRH_safe` equations).
+//!
+//! The engine itself now lives in [`mirza_attacks::rig`], where it doubles
+//! as the replay loop for the composable attack framework (strategy x
+//! schedule x victim). This module re-exports the legacy entry points
+//! unchanged — existing callers and the seed-pinned results keep working —
+//! and retains the original end-to-end security tests, which exercise the
+//! moved code through these paths.
 //!
 //! Accounting (per DESIGN.md): a row's unmitigated count increments on each
 //! of its ACTs and resets when (a) the row is mitigated as an aggressor
 //! (its victims are refreshed), or (b) the refresh-pointer walk refreshes
 //! the row (a <=1-REF-slice approximation of its victims' refresh).
 
-use mirza_dram::address::{MappingScheme, RowMapping};
-use mirza_dram::geometry::Geometry;
-use mirza_dram::mitigation::Mitigator;
-use mirza_dram::refresh::RefreshPointer;
-use mirza_dram::time::Ps;
-use mirza_dram::timing::TimingParams;
-use mirza_workloads::attacks::RowPattern;
-
-/// ACTs the attacker can land during one ALERT prologue (180 ns / tRC).
-pub const PROLOGUE_ACTS: u32 = 3;
-
-/// Activation slots consumed by the ALERT stall (350 ns / tRC, rounded up).
-pub const STALL_SLOTS: u32 = 8;
-
-/// Result of one attack run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AttackOutcome {
-    /// Maximum unmitigated ACTs observed on any row at any instant.
-    pub max_unmitigated_acts: u32,
-    /// Total attacker activations performed.
-    pub total_acts: u64,
-    /// ALERT back-offs serviced.
-    pub alerts: u64,
-    /// REF commands elapsed.
-    pub refs: u64,
-}
-
-/// Replays activation patterns against a mitigator with a faithful
-/// REF/ALERT timeline for one bank.
-pub struct HammerHarness<'a> {
-    mitigator: &'a mut dyn Mitigator,
-    mapping: RowMapping,
-    bank: usize,
-    counts: Vec<u32>,
-    max: u32,
-    refptr: RefreshPointer,
-    acts_per_interval: u32,
-    now: Ps,
-    t_rc: Ps,
-    acts_since_alert: u32,
-    outcome: AttackOutcome,
-}
-
-impl<'a> HammerHarness<'a> {
-    /// Creates a harness attacking `bank` of `geom` through `mitigator`.
-    /// The attacker ACT budget per REF interval comes from `timing`
-    /// (`(tREFI - tRFC)/tRC`, 75 for baseline DDR5-6000).
-    pub fn new(
-        mitigator: &'a mut dyn Mitigator,
-        geom: &Geometry,
-        timing: &TimingParams,
-        bank: usize,
-    ) -> Self {
-        let mapping = mitigator
-            .mapping()
-            .copied()
-            .unwrap_or_else(|| RowMapping::for_geometry(MappingScheme::Sequential, geom));
-        let acts_per_interval =
-            ((timing.t_refi.as_ps() - timing.t_rfc.as_ps()) / timing.t_rc.as_ps()) as u32;
-        HammerHarness {
-            mitigator,
-            mapping,
-            bank,
-            counts: vec![0; geom.rows_per_bank as usize],
-            max: 0,
-            refptr: RefreshPointer::new(geom.rows_per_bank, geom.rows_per_ref),
-            acts_per_interval,
-            now: Ps::ZERO,
-            t_rc: timing.t_rc,
-            acts_since_alert: 1,
-            outcome: AttackOutcome {
-                max_unmitigated_acts: 0,
-                total_acts: 0,
-                alerts: 0,
-                refs: 0,
-            },
-        }
-    }
-
-    /// Attacker ACT slots per REF interval.
-    pub fn acts_per_interval(&self) -> u32 {
-        self.acts_per_interval
-    }
-
-    /// Current unmitigated count of `row`.
-    pub fn count(&self, row: u32) -> u32 {
-        self.counts[row as usize]
-    }
-
-    fn act(&mut self, row: u32) {
-        self.mitigator.on_activate(self.bank, row, self.now);
-        self.now += self.t_rc;
-        self.acts_since_alert += 1;
-        self.outcome.total_acts += 1;
-        let c = &mut self.counts[row as usize];
-        *c += 1;
-        if *c > self.max {
-            self.max = *c;
-        }
-    }
-
-    fn apply_mitigations(&mut self) {
-        for (bank, row) in self.mitigator.drain_mitigations() {
-            if bank == self.bank {
-                self.counts[row as usize] = 0;
-            }
-        }
-    }
-
-    /// Runs one REF interval of attacker activations from `pattern`,
-    /// honoring the ALERT protocol, then the REF itself.
-    pub fn interval(&mut self, pattern: &mut RowPattern) {
-        let mut budget = i64::from(self.acts_per_interval);
-        while budget > 0 {
-            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
-                for _ in 0..PROLOGUE_ACTS {
-                    if budget > 0 {
-                        let row = pattern.next_act();
-                        self.act(row);
-                        budget -= 1;
-                    }
-                }
-                budget -= i64::from(STALL_SLOTS);
-                self.now += self.t_rc * u64::from(STALL_SLOTS);
-                self.mitigator.on_rfm(true, self.now);
-                self.outcome.alerts += 1;
-                self.acts_since_alert = 0;
-                self.apply_mitigations();
-            } else {
-                let row = pattern.next_act();
-                self.act(row);
-                budget -= 1;
-            }
-        }
-        self.ref_step();
-    }
-
-    /// Runs one idle REF interval (no attacker ACTs).
-    pub fn idle_interval(&mut self) {
-        self.ref_step();
-    }
-
-    fn ref_step(&mut self) {
-        let slice = self.refptr.advance();
-        self.mitigator.on_ref(&slice, self.now);
-        for phys in slice.phys_rows.clone() {
-            self.counts[self.mapping.row_of(phys) as usize] = 0;
-        }
-        self.apply_mitigations();
-        self.outcome.refs += 1;
-        self.now += Ps::from_ns(3900);
-    }
-
-    /// Performs exactly `n` attacker ACTs without advancing refresh
-    /// (scenario scripting helper; regular runs use [`interval`]).
-    ///
-    /// [`interval`]: HammerHarness::interval
-    pub fn burst(&mut self, pattern: &mut RowPattern, n: u32) {
-        for _ in 0..n {
-            if self.mitigator.alert_pending() && self.acts_since_alert >= 1 {
-                self.mitigator.on_rfm(true, self.now);
-                self.outcome.alerts += 1;
-                self.acts_since_alert = 0;
-                self.apply_mitigations();
-            }
-            let row = pattern.next_act();
-            self.act(row);
-        }
-    }
-
-    /// Finishes and reports.
-    pub fn finish(mut self) -> AttackOutcome {
-        self.outcome.max_unmitigated_acts = self.max;
-        self.outcome
-    }
-}
-
-/// Runs `pattern` flat-out for `refs` REF intervals and reports.
-pub fn run_hammer(
-    mitigator: &mut dyn Mitigator,
-    geom: &Geometry,
-    timing: &TimingParams,
-    bank: usize,
-    pattern: &mut RowPattern,
-    refs: u64,
-) -> AttackOutcome {
-    let mut h = HammerHarness::new(mitigator, geom, timing, bank);
-    for _ in 0..refs {
-        h.interval(pattern);
-    }
-    h.finish()
-}
+pub use mirza_attacks::rig::{
+    run_hammer, AttackOutcome, HammerHarness, PatternRef, PROLOGUE_ACTS, STALL_SLOTS,
+};
 
 #[cfg(test)]
 mod tests {
@@ -207,8 +25,12 @@ mod tests {
     use mirza_core::config::MirzaConfig;
     use mirza_core::mirza::Mirza;
     use mirza_core::rct::ResetPolicy;
+    use mirza_dram::geometry::Geometry;
+    use mirza_dram::mitigation::Mitigator;
+    use mirza_dram::timing::TimingParams;
     use mirza_trackers::prac::PracMoat;
     use mirza_trackers::trr::Trr;
+    use mirza_workloads::attacks::RowPattern;
 
     fn geom() -> Geometry {
         Geometry::ddr5_32gb()

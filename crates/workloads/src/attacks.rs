@@ -11,6 +11,21 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// An infinite circular activation pattern over one bank.
+///
+/// # The circular contract
+///
+/// [`next_act`] and [`take_acts`] form one infinite cyclic stream over
+/// [`rows`]: `next_act` yields `rows[idx]` and advances `idx` modulo
+/// `rows.len()`, and `take_acts(n)` is exactly `n` calls to `next_act` —
+/// the cursor persists across both, so interleaving them continues the
+/// same cycle rather than restarting it (the scripted Appendix-B attacks
+/// rely on this). The cycle is total: every constructor guarantees a
+/// non-empty `rows`, so `next_act` never exhausts and the modulo never
+/// divides by zero.
+///
+/// [`next_act`]: RowPattern::next_act
+/// [`take_acts`]: RowPattern::take_acts
+/// [`rows`]: RowPattern::rows
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowPattern {
     rows: Vec<u32>,
@@ -140,14 +155,19 @@ impl RowPattern {
         &self.rows
     }
 
-    /// Produces the next activation.
+    /// Produces the next activation and advances the circular cursor (see
+    /// the type-level *circular contract*).
     pub fn next_act(&mut self) -> u32 {
+        // Every constructor funnels through `circular`, which rejects empty
+        // row sets; this guards the invariant against future constructors.
+        debug_assert!(!self.rows.is_empty(), "pattern constructed empty");
         let r = self.rows[self.idx];
         self.idx = (self.idx + 1) % self.rows.len();
         r
     }
 
-    /// Takes `n` activations as a vector (testing convenience).
+    /// Takes `n` activations as a vector (testing convenience). Continues
+    /// the cycle from the current cursor; it does not restart it.
     pub fn take_acts(&mut self, n: usize) -> Vec<u32> {
         (0..n).map(|_| self.next_act()).collect()
     }

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Schema and coverage gate for the attack-matrix CSV artifact.
+
+Validates ``results/attack_matrix.csv`` (or the path given) as produced by
+``repro attack-matrix``:
+
+* the header matches the pinned schema exactly (any drift fails CI so the
+  artifact stays machine-consumable across PRs);
+* every row has the header's arity with well-typed fields;
+* ``success_prob`` lies in [0, 1] and equals successes/trials;
+* ``successes <= trials`` and ``max_row_acts``/``bound`` are positive ints;
+* coverage floors hold: >= 48 cells from >= 4 strategies x >= 3 schedules
+  x >= 2 mitigators x >= 2 seeds.
+
+Exit status: 0 when the gate passes, 1 on any violation, 2 on usage or
+I/O errors. Standard library only.
+
+Usage:
+    scripts/attack_gate.py [results/attack_matrix.csv]
+"""
+
+import csv
+import sys
+
+EXPECTED_HEADER = [
+    "strategy",
+    "schedule",
+    "mitigator",
+    "seed",
+    "trials",
+    "successes",
+    "success_prob",
+    "max_row_acts",
+    "bound",
+    "total_acts",
+    "alerts",
+]
+
+MIN_CELLS = 48
+MIN_STRATEGIES = 4
+MIN_SCHEDULES = 3
+MIN_MITIGATORS = 2
+MIN_SEEDS = 2
+
+
+def fail(msg):
+    print(f"attack_gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/attack_matrix.csv"
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+    except OSError as e:
+        print(f"attack_gate: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    if not rows:
+        return fail("empty file")
+    if rows[0] != EXPECTED_HEADER:
+        return fail(f"header drift: {rows[0]} != {EXPECTED_HEADER}")
+    cells = rows[1:]
+    if len(cells) < MIN_CELLS:
+        return fail(f"only {len(cells)} cells; need >= {MIN_CELLS}")
+
+    strategies, schedules, mitigators, seeds = set(), set(), set(), set()
+    for i, row in enumerate(cells, start=2):
+        if len(row) != len(EXPECTED_HEADER):
+            return fail(f"line {i}: {len(row)} fields, expected {len(EXPECTED_HEADER)}")
+        rec = dict(zip(EXPECTED_HEADER, row))
+        try:
+            trials = int(rec["trials"])
+            successes = int(rec["successes"])
+            prob = float(rec["success_prob"])
+            max_row = int(rec["max_row_acts"])
+            bound = int(rec["bound"])
+            int(rec["seed"])
+            int(rec["total_acts"])
+            int(rec["alerts"])
+        except ValueError as e:
+            return fail(f"line {i}: malformed numeric field: {e}")
+        if trials <= 0:
+            return fail(f"line {i}: non-positive trials {trials}")
+        if successes > trials:
+            return fail(f"line {i}: successes {successes} > trials {trials}")
+        if not 0.0 <= prob <= 1.0:
+            return fail(f"line {i}: success_prob {prob} outside [0, 1]")
+        if abs(prob - successes / trials) > 1e-3:
+            return fail(f"line {i}: success_prob {prob} != {successes}/{trials}")
+        if bound <= 0:
+            return fail(f"line {i}: non-positive bound {bound}")
+        if successes > 0 and max_row < bound:
+            return fail(f"line {i}: successes with max_row_acts {max_row} < bound {bound}")
+        strategies.add(rec["strategy"])
+        schedules.add(rec["schedule"])
+        mitigators.add(rec["mitigator"])
+        seeds.add(rec["seed"])
+
+    for name, got, floor in [
+        ("strategies", strategies, MIN_STRATEGIES),
+        ("schedules", schedules, MIN_SCHEDULES),
+        ("mitigators", mitigators, MIN_MITIGATORS),
+        ("seeds", seeds, MIN_SEEDS),
+    ]:
+        if len(got) < floor:
+            return fail(f"only {len(got)} {name} ({sorted(got)}); need >= {floor}")
+
+    print(
+        f"attack_gate: OK: {len(cells)} cells, {len(strategies)} strategies, "
+        f"{len(schedules)} schedules, {len(mitigators)} mitigators, {len(seeds)} seeds"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,5 @@
 //! MIRZA reproduction facade crate: re-exports every subsystem.
+pub use mirza_attacks as attacks;
 pub use mirza_core as core;
 pub use mirza_dram as dram;
 pub use mirza_frontend as frontend;

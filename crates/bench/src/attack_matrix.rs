@@ -29,7 +29,7 @@ use mirza_dram::address::{RegionMap, RowMapping};
 use mirza_dram::geometry::Geometry;
 use mirza_dram::mitigation::Mitigator;
 use mirza_dram::timing::TimingParams;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{names, Json, Telemetry};
 use mirza_trackers::mithril::Mithril;
 use mirza_trackers::prac::PracMoat;
 use mirza_trackers::trr::Trr;
@@ -315,7 +315,7 @@ pub fn run_matrix(spec: &MatrixSpec, telemetry: &Telemetry) -> MatrixResult {
                     );
                     telemetry.event(
                         0,
-                        "attack_cell",
+                        names::EV_ATTACK_CELL,
                         &[
                             ("strategy", Json::from(cell.strategy.as_str())),
                             ("schedule", Json::from(cell.schedule.as_str())),

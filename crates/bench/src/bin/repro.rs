@@ -4,13 +4,14 @@
 //! repro <experiment|all|PATH.trace> [--smoke|--fast|--full] [--seed N]
 //!       [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR]
 //!       [--audit] [--strict-audit] [--compare BASELINE.json]
-//!       [--faults PLAN] [--watchdog SECS] [--list] [--quiet]
+//!       [--faults PLAN] [--watchdog SECS] [--trace-chrome FILE]
+//!       [--list] [--quiet]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
 //!   table10 table11 table12 table13
 //!   fig3 fig6 fig9 fig11a fig11b fig13 fig14
-//!   security dos-sim attack-matrix watchdog-demo
+//!   security dos-sim attack-matrix attribution watchdog-demo
 //! ```
 //!
 //! `--fast` (default) runs the self-consistent 1/16-scaled setup; `--full`
@@ -34,6 +35,15 @@
 //! file on every core instead of a named experiment; `watchdog-demo`
 //! deliberately stalls to demonstrate the watchdog abort path.
 //!
+//! Observability flags: `--trace-chrome FILE` attaches the request-
+//! lifecycle span layer to every simulated run and writes one Chrome
+//! trace-event JSON per run (`<stem>_<label>-<workload>.<ext>` next to
+//! FILE; load in `chrome://tracing` or Perfetto). The `attribution`
+//! target sweeps the Table-4 mitigators over four representative
+//! workloads with spans armed and writes the per-bucket stall breakdown
+//! to `results/attribution.csv` (`--csv` overrides; `--json` adds a
+//! manifest-style summary).
+//!
 //! Exit codes mirror `SimError`: 0 success, 1 usage/comparison failure,
 //! 2 unknown workload, 3 trace parse, 4 config, 5 I/O, 6 watchdog.
 
@@ -42,6 +52,7 @@ use std::process::ExitCode;
 use mirza_bench::analytic;
 use mirza_bench::attack_matrix::{run_matrix, MatrixSpec};
 use mirza_bench::attacks_exp;
+use mirza_bench::attribution::run_attribution;
 use mirza_bench::compare::compare_manifests;
 use mirza_bench::experiments;
 use mirza_bench::extensions;
@@ -65,7 +76,7 @@ const ANALYTIC_EXPERIMENTS: &[&str] = &[
 const ATTACK_EXPERIMENTS: &[&str] = &["fig14", "security"];
 // Deliberately not part of `all`: keeps `--compare` manifests and the CI
 // bench gate bit-identical to the pre-framework baselines.
-const MATRIX_EXPERIMENTS: &[&str] = &["attack-matrix"];
+const MATRIX_EXPERIMENTS: &[&str] = &["attack-matrix", "attribution"];
 const EXTENSION_EXPERIMENTS: &[&str] = &[
     "ablation-mapping",
     "ablation-qth",
@@ -112,7 +123,7 @@ fn usage() -> ExitCode {
         "usage: repro <experiment|all|ablations|PATH.trace> [--smoke|--fast|--full] \
          [--seed N] [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
          [--strict-audit] [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS] \
-         [--list] [--quiet]\n\
+         [--trace-chrome FILE] [--list] [--quiet]\n\
          experiments: {} {} {} {} {} watchdog-demo\n\
          fault plans: {} (tunable as name:key=value,...)",
         ANALYTIC_EXPERIMENTS.join(" "),
@@ -220,6 +231,47 @@ fn attack_matrix_cmd(
     ExitCode::SUCCESS
 }
 
+/// Runs the attribution sweep: Table-4 mitigators x representative
+/// workloads with the span layer armed. Writes the per-bucket CSV
+/// (default `results/attribution.csv`, `--csv` overrides) and — with
+/// `--json` — a manifest-style summary. `--trace-chrome` additionally
+/// writes one Chrome trace per run.
+fn attribution_cmd(
+    scale: Scale,
+    csv: Option<std::path::PathBuf>,
+    json: Option<std::path::PathBuf>,
+    trace_chrome: Option<std::path::PathBuf>,
+    verbose: bool,
+) -> ExitCode {
+    let csv_path = csv.unwrap_or_else(|| std::path::PathBuf::from("results/attribution.csv"));
+    if let Some(dir) = csv_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut lab = Lab::new(scale);
+    lab.verbose = verbose;
+    lab.attribution = true;
+    lab.trace_chrome = trace_chrome;
+    let result = run_attribution(&mut lab);
+    if let Err(e) = std::fs::write(&csv_path, result.to_csv()) {
+        eprintln!("error: cannot write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, result.to_json().to_string_pretty()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", result.summary());
+    if verbose {
+        eprintln!("wrote {} ({} rows)", csv_path.display(), result.rows.len());
+    }
+    ExitCode::SUCCESS
+}
+
 fn list_experiments() -> ExitCode {
     for (category, names) in [
         (
@@ -253,6 +305,7 @@ fn main() -> ExitCode {
     let mut compare: Option<std::path::PathBuf> = None;
     let mut faults: Option<String> = None;
     let mut watchdog: Option<u64> = None;
+    let mut trace_chrome: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -298,6 +351,10 @@ fn main() -> ExitCode {
                 Some(p) => compare = Some(std::path::PathBuf::from(p)),
                 None => return usage(),
             },
+            "--trace-chrome" => match it.next() {
+                Some(p) => trace_chrome = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
             name if !name.starts_with('-') && target.is_none() => {
                 target = Some(name.to_string());
             }
@@ -321,6 +378,9 @@ fn main() -> ExitCode {
     if target == "attack-matrix" {
         return attack_matrix_cmd(scale, csv, json, verbose);
     }
+    if target == "attribution" {
+        return attribution_cmd(scale, csv, json, trace_chrome, verbose);
+    }
     let mut lab = Lab::new(scale);
     lab.fault_plan = fault_plan;
     lab.watchdog_wall_secs = watchdog;
@@ -332,6 +392,7 @@ fn main() -> ExitCode {
         lab.epoch_dir = dir;
     }
     lab.audit = audit;
+    lab.trace_chrome = trace_chrome;
     if verbose {
         // One status line roughly every 10 M retired instructions keeps
         // paper-scale runs observably alive without flooding fast mode.

@@ -11,7 +11,7 @@ use mirza_sim::faults::{FaultInjector, FaultPlan};
 use mirza_sim::report::SimReport;
 use mirza_sim::runner::try_run_workload_with;
 use mirza_sim::SimError;
-use mirza_telemetry::{EpochSampler, Json, Telemetry};
+use mirza_telemetry::{names, ChromeTraceSink, EpochSampler, Json, SpanCollector, Telemetry};
 
 use crate::scale::Scale;
 
@@ -43,6 +43,12 @@ pub struct Lab {
     pub fault_plan: Option<FaultPlan>,
     /// Wall-clock watchdog budget per simulation, in seconds.
     pub watchdog_wall_secs: Option<u64>,
+    /// Attach the request-lifecycle span collector to every fresh run, so
+    /// each report carries per-bucket stall attribution.
+    pub attribution: bool,
+    /// Base path for Chrome trace-event JSON. Each fresh run writes
+    /// `<stem>_<label>-<workload>.<ext>` next to it (implies spans).
+    pub trace_chrome: Option<std::path::PathBuf>,
     /// Where the manifest will be written; a fatal error flushes the
     /// partial document here before exiting.
     pub manifest_path: Option<std::path::PathBuf>,
@@ -65,6 +71,8 @@ impl Lab {
             fault_plan: None,
             watchdog_wall_secs: None,
             manifest_path: None,
+            attribution: false,
+            trace_chrome: None,
         }
     }
 
@@ -99,7 +107,9 @@ impl Lab {
         // byte-compatible with earlier versions.
         let epochs = telemetry.epochs_summary_json();
         let host_profile = telemetry.profile_json();
-        let audit_violations = cfg.audit.then(|| telemetry.counter("audit.violations"));
+        let audit_violations = cfg
+            .audit
+            .then(|| telemetry.counter(names::AUDIT_VIOLATIONS));
         let faults = injector.map(FaultInjector::summary_json);
         let verdict = injector
             .is_some()
@@ -146,7 +156,7 @@ impl Lab {
     /// a proven break. Non-MIRZA mitigations have no NBO bound, so the
     /// verdict degrades to reporting the observed maximum.
     fn security_verdict(cfg: &SimConfig, telemetry: &Telemetry) -> Json {
-        let max_row_acts = telemetry.counter("audit.max_row_acts");
+        let max_row_acts = telemetry.counter(names::AUDIT_MAX_ROW_ACTS);
         let nbo_bound = match &cfg.mitigation {
             MitigationConfig::Mirza { cfg: mirza, .. } => Some(u64::from(mirza.safe_trhd())),
             _ => None,
@@ -275,7 +285,8 @@ impl Lab {
         cfg.track_row_acts = self.fault_plan.is_some();
         cfg.watchdog_wall = self.watchdog_wall_secs.map(std::time::Duration::from_secs);
         let probing = self.epoch_ps.is_some() || cfg.audit;
-        let mut telemetry = if self.manifest.is_some() || probing {
+        let spanning = self.attribution || self.trace_chrome.is_some();
+        let mut telemetry = if self.manifest.is_some() || probing || spanning {
             Telemetry::enabled()
         } else {
             Telemetry::disabled()
@@ -285,6 +296,13 @@ impl Lab {
         }
         if self.manifest.is_some() {
             telemetry = telemetry.with_profiler();
+        }
+        if spanning {
+            let mut spans = SpanCollector::new();
+            if let Some(sink) = self.chrome_sink(&key) {
+                spans = spans.with_chrome(sink);
+            }
+            telemetry = telemetry.with_spans(spans);
         }
         let injector = self
             .fault_plan
@@ -296,7 +314,7 @@ impl Lab {
                 Err(err) => self.fatal(&key, &telemetry, &err),
             };
         if cfg.audit {
-            let violations = telemetry.counter("audit.violations");
+            let violations = telemetry.counter(names::AUDIT_VIOLATIONS);
             if violations > 0 {
                 eprintln!("warning: {key}: {violations} protocol violation(s) flagged");
                 self.audit_failures.push((key.clone(), violations));
@@ -321,6 +339,10 @@ impl Lab {
     /// then exit with the error's dedicated code. Never returns.
     fn fatal(&self, key: &str, telemetry: &Telemetry, err: &SimError) -> ! {
         eprintln!("error: {err}");
+        // `process::exit` skips destructors, so buffered sinks (command
+        // trace, chrome trace) would silently lose their tails without an
+        // explicit flush here.
+        telemetry.flush();
         self.write_epoch_stream(key, telemetry);
         if let Some(path) = &self.manifest_path {
             if self.manifest.is_some() {
@@ -337,6 +359,44 @@ impl Lab {
     /// violation count)` pairs. Empty when auditing is off or clean.
     pub fn audit_failures(&self) -> &[(String, u64)] {
         &self.audit_failures
+    }
+
+    /// Opens the per-run Chrome trace file derived from `trace_chrome`:
+    /// `<stem>_<label>-<workload>.<ext>` in the same directory.
+    fn chrome_sink(&self, key: &str) -> Option<ChromeTraceSink> {
+        let base = self.trace_chrome.as_ref()?;
+        let sanitized: String = key
+            .chars()
+            .map(|c| if c == '/' || c == ' ' { '-' } else { c })
+            .collect();
+        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+        let name = format!("{stem}_{sanitized}.{ext}");
+        let path = match base.parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("warning: cannot create {}: {e}", dir.display());
+                    return None;
+                }
+                dir.join(name)
+            }
+            _ => std::path::PathBuf::from(name),
+        };
+        match std::fs::File::create(&path) {
+            Ok(f) => {
+                if self.verbose {
+                    eprintln!("  tracing to {}", path.display());
+                }
+                Some(ChromeTraceSink::new(Box::new(std::io::BufWriter::new(f))))
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot create chrome trace {}: {e}",
+                    path.display()
+                );
+                None
+            }
+        }
     }
 
     fn write_epoch_stream(&self, key: &str, telemetry: &Telemetry) {
@@ -536,6 +596,46 @@ mod tests {
         let text = std::fs::read_to_string(&stream).expect("epoch JSONL written");
         assert!(text.lines().count() > 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_chrome_writes_one_loadable_file_per_run() {
+        let dir = std::env::temp_dir().join(format!("mirza_lab_chrome_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut lab = Lab::new(Scale::bench());
+        lab.trace_chrome = Some(dir.join("trace.json"));
+        let report = lab.run(MitigationConfig::None, "lbm");
+        let a = report.attribution.expect("chrome tracing implies spans");
+        assert!(a.conserved);
+        let text = std::fs::read_to_string(dir.join("trace_baseline-lbm.json"))
+            .expect("per-run chrome trace written");
+        let doc = mirza_telemetry::Json::parse(&text).expect("loadable trace-event array");
+        assert!(!doc.as_arr().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attribution_lands_inside_the_manifest_report() {
+        let mut lab = Lab::new(Scale::bench());
+        lab.enable_manifest();
+        lab.attribution = true;
+        lab.begin_experiment("attribution");
+        let _ = lab.run(MitigationConfig::None, "lbm");
+        let doc = lab.manifest_json().unwrap();
+        let run = &doc.get("experiments").unwrap().as_arr().unwrap()[0]
+            .get("runs")
+            .unwrap()
+            .as_arr()
+            .unwrap()[0];
+        let attribution = run
+            .get("report")
+            .expect("run record carries the report")
+            .get("attribution")
+            .expect("report carries the attribution section");
+        assert_eq!(
+            attribution.get("conserved").unwrap(),
+            &mirza_telemetry::Json::Bool(true)
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod analytic;
 pub mod attack_matrix;
 pub mod attacks_exp;
+pub mod attribution;
 pub mod compare;
 pub mod experiments;
 pub mod extensions;

@@ -9,7 +9,7 @@ use mirza_dram::mitigation::{
     DeviceFault, MitigationLog, MitigationStats, Mitigator, RefreshSlice,
 };
 use mirza_dram::time::Ps;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{names, Json, Telemetry};
 
 use crate::config::{MirzaConfig, BLAST_RADIUS};
 use crate::mint::MintSampler;
@@ -183,7 +183,7 @@ impl Mitigator for Mirza {
                             if !q.insert(selected) {
                                 self.telemetry.event(
                                     now.as_ps(),
-                                    "mirzaq_overflow",
+                                    names::EV_MIRZAQ_OVERFLOW,
                                     &[
                                         ("bank", Json::U64(bank as u64)),
                                         ("row", Json::U64(u64::from(selected))),
@@ -215,8 +215,8 @@ impl Mitigator for Mirza {
         if self.telemetry.is_enabled() {
             if let Some(rct) = self.rct.as_ref() {
                 let (max, mean) = rct.counter_stats();
-                self.telemetry.set_gauge("rct.max", f64::from(max));
-                self.telemetry.set_gauge("rct.mean", mean);
+                self.telemetry.set_gauge(names::RCT_MAX, f64::from(max));
+                self.telemetry.set_gauge(names::RCT_MEAN, mean);
             }
         }
     }
@@ -229,11 +229,11 @@ impl Mitigator for Mirza {
             let occupancy = q.len() as u64;
             if let Some(entry) = q.pop_max() {
                 self.telemetry
-                    .observe("mirzaq.occupancy_at_drain", occupancy);
+                    .observe(names::MIRZAQ_OCCUPANCY_AT_DRAIN, occupancy);
                 self.telemetry
-                    .observe("mirzaq.tardiness_at_drain", u64::from(entry.count));
+                    .observe(names::MIRZAQ_TARDINESS_AT_DRAIN, u64::from(entry.count));
                 self.stats.mitigations += 1;
-                self.telemetry.inc("mirza.mitigations", 1);
+                self.telemetry.inc(names::MIRZA_MITIGATIONS, 1);
                 self.stats.victim_rows_refreshed +=
                     self.mapping.neighbors(entry.row, BLAST_RADIUS).len() as u64;
                 self.log.push(bank, entry.row);

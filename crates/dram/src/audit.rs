@@ -25,7 +25,7 @@ use crate::command::Command;
 use crate::geometry::Geometry;
 use crate::time::Ps;
 use crate::timing::TimingParams;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{names, Json, Telemetry};
 
 /// Auditor configuration.
 #[derive(Debug, Clone)]
@@ -591,11 +591,11 @@ impl CommandAuditor {
                 legal_at_ps,
             });
         }
-        telemetry.inc("audit.violations", 1);
+        telemetry.inc(names::AUDIT_VIOLATIONS, 1);
         if telemetry.is_enabled() {
             telemetry.event(
                 now,
-                "protocol_violation",
+                names::EV_PROTOCOL_VIOLATION,
                 &[
                     ("rule", Json::Str(rule.to_string())),
                     ("cmd", Json::Str(format!("{cmd:?}"))),

@@ -20,7 +20,7 @@ use crate::refresh::RefreshPointer;
 use crate::stats::DeviceStats;
 use crate::time::Ps;
 use crate::timing::TimingParams;
-use mirza_telemetry::{Json, Phase, Telemetry};
+use mirza_telemetry::{names, Json, Phase, Telemetry};
 
 use crate::bank::BankState;
 
@@ -69,6 +69,11 @@ pub struct Subchannel {
     /// stayed open longer than tRAS charges the tracker additional
     /// activation-equivalents, one per extra tRAS of open time.
     rowpress_weighting: bool,
+    /// Sub-channel index within the channel, for span-track labeling (set
+    /// by the owning controller; 0 until then).
+    subch_index: u32,
+    /// Cached `telemetry.has_spans()` so precharges test one local bool.
+    spans: bool,
     telemetry: Telemetry,
     /// Independent protocol auditor (shadow checker), when enabled. Boxed:
     /// its per-bank shadow state is only paid for by auditing runs.
@@ -116,6 +121,8 @@ impl Subchannel {
             act_hist: vec![0; hist],
             metrics_mapping,
             rowpress_weighting: false,
+            subch_index: 0,
+            spans: false,
             telemetry: Telemetry::disabled(),
             audit: None,
             timing,
@@ -162,7 +169,14 @@ impl Subchannel {
     /// Attaches a telemetry handle (cloned down into the mitigator).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.mitigator.set_telemetry(telemetry.clone());
+        self.spans = telemetry.has_spans();
         self.telemetry = telemetry;
+    }
+
+    /// Records which sub-channel of the channel this device is, so span
+    /// tracks carry the right label. Called by the owning controller.
+    pub fn set_subch_index(&mut self, subch: u32) {
+        self.subch_index = subch;
     }
 
     /// Enables RowPress weighting: long row-open times are converted into
@@ -407,6 +421,16 @@ impl Subchannel {
                 self.banks[flat].issue_pre(now, &t);
                 self.stats.pres += 1;
                 self.charge_rowpress(flat, row, opened_at, now);
+                if self.spans {
+                    // The row's full open interval is known at close time.
+                    self.telemetry.span_bank(
+                        self.subch_index,
+                        flat,
+                        u64::from(row),
+                        opened_at.as_ps(),
+                        now.as_ps(),
+                    );
+                }
                 Issued {
                     data_ready: None,
                     busy_until: None,
@@ -424,6 +448,15 @@ impl Subchannel {
                 }
                 for (flat, row, opened_at) in closed {
                     self.charge_rowpress(flat, row, opened_at, now);
+                    if self.spans {
+                        self.telemetry.span_bank(
+                            self.subch_index,
+                            flat,
+                            u64::from(row),
+                            opened_at.as_ps(),
+                            now.as_ps(),
+                        );
+                    }
                 }
                 Issued {
                     data_ready: None,
@@ -472,7 +505,7 @@ impl Subchannel {
                 if slice.phys_rows.start == 0 && slice.index > 0 {
                     self.telemetry.event(
                         now.as_ps(),
-                        "refresh_pointer_wrap",
+                        names::EV_REFRESH_POINTER_WRAP,
                         &[("ref_index", Json::U64(slice.index))],
                     );
                 }

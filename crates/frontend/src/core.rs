@@ -81,6 +81,10 @@ pub struct Core {
     outstanding: VecDeque<Flight>,
     pending_mem: Option<(u64, bool, u64)>,
     finished: bool,
+    /// Simulated time spent stalled on a full MSHR budget.
+    mshr_stall: Ps,
+    /// Simulated time spent stalled on the ROB-limit load.
+    rob_stall: Ps,
 }
 
 impl std::fmt::Debug for Core {
@@ -114,6 +118,8 @@ impl Core {
             outstanding: VecDeque::new(),
             pending_mem: None,
             finished: false,
+            mshr_stall: Ps::ZERO,
+            rob_stall: Ps::ZERO,
         }
     }
 
@@ -140,6 +146,16 @@ impl Core {
     /// Outstanding DRAM misses.
     pub fn outstanding(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// Simulated time this core spent stalled on a full MSHR budget.
+    pub fn mshr_stall(&self) -> Ps {
+        self.mshr_stall
+    }
+
+    /// Simulated time this core spent stalled on the ROB-limit load.
+    pub fn rob_stall(&self) -> Ps {
+        self.rob_stall
     }
 
     /// Instructions per cycle achieved so far (the sub-cycle residual of
@@ -218,6 +234,7 @@ impl Core {
             if self.outstanding.len() >= self.params.mshr {
                 match self.outstanding.front().expect("mshr full").done {
                     Some(d) => {
+                        self.mshr_stall += d.saturating_sub(self.time);
                         self.time = self.time.max(d);
                         self.outstanding.pop_front();
                         continue;
@@ -230,6 +247,7 @@ impl Core {
                 if front.is_load && front.instr_idx + self.params.rob <= idx {
                     match front.done {
                         Some(d) => {
+                            self.rob_stall += d.saturating_sub(self.time);
                             self.time = self.time.max(d);
                             self.outstanding.pop_front();
                             continue;
@@ -321,6 +339,9 @@ mod tests {
         assert_eq!(st, RunStatus::Blocked); // blocks again on the next one
         assert!(c.time() >= Ps::from_us(1), "stall advanced time");
         assert!(c.time() > blocked_at);
+        // The time jump was charged to the MSHR stall counter.
+        assert!(c.mshr_stall() >= Ps::from_us(1) - blocked_at);
+        assert_eq!(c.rob_stall(), Ps::ZERO);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use mirza_dram::command::Command;
 use mirza_dram::device::Subchannel;
 use mirza_dram::mitigation::DeviceFault;
 use mirza_dram::time::Ps;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{names, Json, StallBucket, Telemetry};
 
 use crate::request::{AccessKind, Completion, McStats, Request};
 
@@ -30,6 +30,10 @@ struct Queued {
     req: Request,
     needed_act: bool,
     needed_pre: bool,
+    /// When the first ACT/PRE was issued on this request's behalf — the
+    /// instant it became the oldest request needing its bank. `None` for
+    /// pure row hits; feeds the span layer's queue-vs-bank stall split.
+    own_cmd_at: Option<Ps>,
 }
 
 /// Candidate command with its scheduling class (lower = higher priority).
@@ -58,6 +62,9 @@ pub struct MemController {
     alert_observed_at: Option<Ps>,
     stats: McStats,
     telemetry: Telemetry,
+    /// Cached `telemetry.has_spans()` so the hot path tests one local bool
+    /// instead of borrowing the recorder.
+    spans: bool,
     /// Length of the current streak of row-buffer hits (for the
     /// `mc.row_hit_run` histogram; flushed when a miss/conflict breaks it).
     hit_run: u64,
@@ -75,8 +82,9 @@ impl std::fmt::Debug for MemController {
 
 impl MemController {
     /// Creates a controller for sub-channel index `subch` of the channel.
-    pub fn new(device: Subchannel, cfg: McConfig, subch: u32) -> Self {
+    pub fn new(mut device: Subchannel, cfg: McConfig, subch: u32) -> Self {
         let nbanks = device.geometry().banks_per_subchannel() as usize;
+        device.set_subch_index(subch);
         MemController {
             cfg,
             subch,
@@ -86,6 +94,7 @@ impl MemController {
             alert_observed_at: None,
             stats: McStats::default(),
             telemetry: Telemetry::disabled(),
+            spans: false,
             hit_run: 0,
             device,
         }
@@ -95,13 +104,14 @@ impl MemController {
     /// mitigator). Both sub-channel controllers share one handle.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.device.set_telemetry(telemetry.clone());
+        self.spans = telemetry.has_spans();
         self.telemetry = telemetry;
     }
 
     /// Flushes end-of-run telemetry state (the trailing row-hit streak).
     pub fn finish_telemetry(&mut self) {
         if self.hit_run > 0 {
-            self.telemetry.observe("mc.row_hit_run", self.hit_run);
+            self.telemetry.observe(names::MC_ROW_HIT_RUN, self.hit_run);
             self.hit_run = 0;
         }
     }
@@ -158,10 +168,11 @@ impl MemController {
             req,
             needed_act: false,
             needed_pre: false,
+            own_cmd_at: None,
         });
         if self.telemetry.is_enabled() {
             self.telemetry
-                .observe("mc.queue_occupancy", self.pending_requests() as u64);
+                .observe(names::MC_QUEUE_OCCUPANCY, self.pending_requests() as u64);
         }
     }
 
@@ -304,11 +315,16 @@ impl MemController {
     }
 
     fn mark_head(&mut self, flat: usize, act: bool) {
+        let spans = self.spans;
+        let now = self.now;
         if let Some(head) = self.queues[flat].front_mut() {
             if act {
                 head.needed_act = true;
             } else {
                 head.needed_pre = true;
+            }
+            if spans && head.own_cmd_at.is_none() {
+                head.own_cmd_at = Some(now);
             }
         }
     }
@@ -334,6 +350,15 @@ impl MemController {
                     let q = self.queues[flat].remove(pos).expect("position valid");
                     let issued = self.device.issue(cmd, at);
                     let done = issued.data_ready.expect("column returns data time");
+                    if self.spans {
+                        self.telemetry.span_request(
+                            self.subch,
+                            flat,
+                            q.req.arrival.as_ps(),
+                            q.own_cmd_at.map(Ps::as_ps),
+                            at.as_ps(),
+                        );
+                    }
                     // Row-buffer classification.
                     if q.needed_pre {
                         self.stats.row_conflicts += 1;
@@ -353,9 +378,9 @@ impl MemController {
                         AccessKind::Read => {
                             self.stats.reads_done += 1;
                             self.stats.read_latency_ps += (done - q.req.arrival).as_ps();
-                            self.telemetry.inc("mc.reads", 1);
+                            self.telemetry.inc(names::MC_READS, 1);
                             self.telemetry.observe(
-                                "mc.read_latency_ns",
+                                names::MC_READ_LATENCY_NS,
                                 (done - q.req.arrival).as_ps() / 1000,
                             );
                             out.push(Completion {
@@ -365,7 +390,7 @@ impl MemController {
                         }
                         AccessKind::Write => {
                             self.stats.writes_done += 1;
-                            self.telemetry.inc("mc.writes", 1);
+                            self.telemetry.inc(names::MC_WRITES, 1);
                             out.push(Completion {
                                 id: q.req.id,
                                 done_at: at,
@@ -378,7 +403,7 @@ impl MemController {
                     self.mark_head(flat, true);
                     self.raa[flat] += 1;
                     self.device.issue(cmd, at);
-                    self.telemetry.inc("mc.acts", 1);
+                    self.telemetry.inc(names::MC_ACTS, 1);
                 }
                 Command::Pre { bank } => {
                     let flat = bank.flat_in_subchannel(self.device.geometry());
@@ -392,8 +417,29 @@ impl MemController {
                     self.device.issue(cmd, at);
                 }
                 Command::Ref => {
-                    self.device.issue(cmd, at);
-                    self.telemetry.inc("mc.refs", 1);
+                    if self.spans {
+                        // Classify the whole tRFC window by whether the
+                        // mitigator piggybacked victim refreshes on this
+                        // REF (TRR-style) — the delta in its counter across
+                        // the issue tells us.
+                        let before = self.device.mitigation_stats().ref_mitigations;
+                        self.device.issue(cmd, at);
+                        let bucket = if self.device.mitigation_stats().ref_mitigations > before {
+                            StallBucket::MitigativeRef
+                        } else {
+                            StallBucket::Refresh
+                        };
+                        let t_rfc = self.device.timing().t_rfc;
+                        self.telemetry.span_block(
+                            self.subch,
+                            bucket,
+                            at.as_ps(),
+                            (at + t_rfc).as_ps(),
+                        );
+                    } else {
+                        self.device.issue(cmd, at);
+                    }
+                    self.telemetry.inc(names::MC_REFS, 1);
                 }
                 Command::Rfm { alert } => {
                     self.device.issue(cmd, at);
@@ -401,26 +447,47 @@ impl MemController {
                         if let Some(t0) = self.alert_observed_at.take() {
                             let stall = at - t0;
                             self.telemetry
-                                .observe("mc.alert_stall_ns", stall.as_ps() / 1000);
+                                .observe(names::MC_ALERT_STALL_NS, stall.as_ps() / 1000);
                             self.telemetry.event(
                                 at.as_ps(),
-                                "alert_cleared",
+                                names::EV_ALERT_CLEARED,
                                 &[
                                     ("subch", Json::U64(u64::from(self.subch))),
                                     ("stall_ns", Json::U64(stall.as_ps() / 1000)),
                                 ],
                             );
+                            if self.spans {
+                                // The whole back-off — from observing
+                                // ALERT_n through the recovery RFM's tRFM —
+                                // is ABO stall.
+                                let t_rfm = self.device.timing().t_rfm;
+                                self.telemetry.span_block(
+                                    self.subch,
+                                    StallBucket::AboAlert,
+                                    t0.as_ps(),
+                                    (at + t_rfm).as_ps(),
+                                );
+                            }
                         }
                         self.stats.alerts_serviced += 1;
-                        self.telemetry.inc("mc.alerts", 1);
+                        self.telemetry.inc(names::MC_ALERTS, 1);
                     } else {
                         self.stats.rfms_issued += 1;
-                        self.telemetry.inc("mc.rfms", 1);
+                        self.telemetry.inc(names::MC_RFMS, 1);
                         self.telemetry.event(
                             at.as_ps(),
-                            "rfm_issued",
+                            names::EV_RFM_ISSUED,
                             &[("subch", Json::U64(u64::from(self.subch)))],
                         );
+                        if self.spans {
+                            let t_rfm = self.device.timing().t_rfm;
+                            self.telemetry.span_block(
+                                self.subch,
+                                StallBucket::Rfm,
+                                at.as_ps(),
+                                (at + t_rfm).as_ps(),
+                            );
+                        }
                         for c in &mut self.raa {
                             *c = 0;
                         }
@@ -432,7 +499,7 @@ impl MemController {
                 self.alert_observed_at = Some(self.now);
                 self.telemetry.event(
                     self.now.as_ps(),
-                    "alert_raised",
+                    names::EV_ALERT_RAISED,
                     &[("subch", Json::U64(u64::from(self.subch)))],
                 );
             }
@@ -619,6 +686,30 @@ mod tests {
         let mut r = read(1, 0, 0, 0, 0);
         r.addr.bank.subch = 1;
         mc.enqueue(r);
+    }
+
+    #[test]
+    fn span_attribution_conserves_across_a_backlog_with_refreshes() {
+        use mirza_telemetry::{SpanCollector, Telemetry};
+        let mut mc = mc(McConfig::default());
+        let tel = Telemetry::enabled().with_spans(SpanCollector::new());
+        mc.set_telemetry(tel.clone());
+        for i in 0..48u64 {
+            mc.enqueue(read(i, (i % 8) as u32, (i * 7) as u32, 0, i / 4));
+        }
+        let mut out = Vec::new();
+        mc.run_until(Ps::from_us(60), &mut out);
+        assert_eq!(out.len(), 48);
+        let s = tel.spans_summary().unwrap();
+        assert_eq!(s.requests, 48);
+        assert!(s.conserved, "buckets must sum to total stall");
+        assert!(s.total_stall_ps > 0);
+        // A backlog of conflicting rows waits on ordering and bank timing.
+        assert!(s.buckets_ps[StallBucket::QueueConflict.index()] > 0);
+        assert!(s.buckets_ps[StallBucket::BankTiming.index()] > 0);
+        for (_, b) in tel.spans_bank_attributions() {
+            assert!(b.conserved(), "per-bank conservation");
+        }
     }
 
     #[test]

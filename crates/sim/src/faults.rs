@@ -27,7 +27,7 @@ use mirza_dram::time::Ps;
 use mirza_frontend::error::SimError;
 use mirza_frontend::trace::{AccessStream, TraceOp};
 use mirza_memctrl::controller::MemController;
-use mirza_telemetry::{Json, Telemetry};
+use mirza_telemetry::{names, Json, Telemetry};
 
 /// The fault kinds the injector can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,15 +261,15 @@ struct Inner {
 impl Inner {
     fn record(&mut self, label: &'static str, t_ps: u64, target: u64, applied: bool) {
         self.attempted += 1;
-        self.telemetry.inc("faults.attempted", 1);
+        self.telemetry.inc(names::FAULTS_ATTEMPTED, 1);
         if applied {
             self.injected += 1;
             *self.applied.entry(label).or_insert(0) += 1;
-            self.telemetry.inc("faults.injected", 1);
+            self.telemetry.inc(names::FAULTS_INJECTED, 1);
         }
         self.telemetry.event(
             t_ps,
-            "fault_injected",
+            names::EV_FAULT_INJECTED,
             &[
                 ("kind", Json::Str(label.into())),
                 ("target", Json::U64(target)),

@@ -4,7 +4,7 @@ use mirza_dram::mitigation::MitigationStats;
 use mirza_dram::stats::DeviceStats;
 use mirza_dram::time::Ps;
 use mirza_memctrl::request::McStats;
-use mirza_telemetry::Json;
+use mirza_telemetry::{AttributionSummary, Json};
 
 /// Aggregated result of one simulation run.
 #[derive(Debug, Clone)]
@@ -38,6 +38,9 @@ pub struct SimReport {
     /// Sub-channels the device/controller counters were summed over
     /// (from the geometry; used to normalize per-sub-channel metrics).
     pub subchannels: u32,
+    /// Per-bucket stall attribution, when the span layer ran. Absent on
+    /// plain runs so their manifests stay byte-identical.
+    pub attribution: Option<AttributionSummary>,
 }
 
 impl SimReport {
@@ -203,6 +206,9 @@ impl SimReport {
             .push("mitigation_rate", self.mitigation_rate())
             .push("acts_per_subarray_per_trefw_mean", sa_mean)
             .push("acts_per_subarray_per_trefw_sd", sa_sd);
+        if let Some(a) = &self.attribution {
+            doc.push("attribution", a.to_json());
+        }
         doc
     }
 
@@ -246,6 +252,7 @@ mod tests {
             t_refi: Ps::from_ns(3900),
             t_refw: Ps::from_ms(32),
             subchannels: 2,
+            attribution: None,
         }
     }
 
@@ -304,6 +311,23 @@ mod tests {
         assert!((one_sc.0 - 2.0 * two_sc.0).abs() < 1e-9);
         assert!((one_sc.1 - 2.0 * two_sc.1).abs() < 1e-9);
         assert!((one_sc.1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attribution_section_only_present_when_spans_ran() {
+        let mut r = report(vec![1.0]);
+        assert!(r.to_json().get("attribution").is_none());
+        r.attribution = Some(AttributionSummary {
+            requests: 2,
+            total_stall_ps: 10,
+            buckets_ps: [10, 0, 0, 0, 0, 0],
+            conserved: true,
+        });
+        let doc = r.to_json();
+        let a = doc.get("attribution").unwrap();
+        assert_eq!(a.get("total_stall_ps").unwrap().as_u64(), Some(10));
+        let qc = a.get("buckets").unwrap().get("queue_conflict").unwrap();
+        assert_eq!(qc.get("pct").unwrap().as_f64(), Some(100.0));
     }
 
     #[test]

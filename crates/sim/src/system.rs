@@ -15,7 +15,7 @@ use mirza_frontend::trace::AccessStream;
 use mirza_memctrl::controller::MemController;
 use mirza_memctrl::mapping::AddressMapper;
 use mirza_memctrl::request::{AccessKind, Completion, McStats, Request};
-use mirza_telemetry::{Heartbeat, Phase, Telemetry};
+use mirza_telemetry::{names, Heartbeat, Phase, Telemetry};
 
 use crate::config::SimConfig;
 use crate::faults::FaultInjector;
@@ -339,11 +339,14 @@ impl System {
                 .map(|a| u64::from(a.max_row_acts()))
                 .max()
                 .unwrap_or(0);
-            tel.set_counter("audit.max_row_acts", max);
+            tel.set_counter(names::AUDIT_MAX_ROW_ACTS, max);
         }
         let p = tel.profile_start();
         let report = self.build_report();
         tel.profile_end(Phase::Report, p);
+        // Terminate the span layer's Chrome trace after the report snapshot
+        // (the attribution summary is already embedded in it).
+        tel.spans_finish();
         Ok(report)
     }
 
@@ -352,38 +355,20 @@ impl System {
     /// depth, and open-bank parallelism. Tracker/mitigation rates are
     /// incremented at their call sites; RCT gauges are set by the engine.
     fn update_epoch_inputs(&self, cores: &[Core]) {
-        /// Static names so per-core series need no allocation; cores past
-        /// this table still count toward the aggregate series.
-        const CORE_INSTR: [&str; 16] = [
-            "core00.instructions",
-            "core01.instructions",
-            "core02.instructions",
-            "core03.instructions",
-            "core04.instructions",
-            "core05.instructions",
-            "core06.instructions",
-            "core07.instructions",
-            "core08.instructions",
-            "core09.instructions",
-            "core10.instructions",
-            "core11.instructions",
-            "core12.instructions",
-            "core13.instructions",
-            "core14.instructions",
-            "core15.instructions",
-        ];
         let mut retired = 0u64;
         for (i, c) in cores.iter().enumerate() {
             retired += c.instructions();
-            if let Some(name) = CORE_INSTR.get(i) {
+            if let Some(name) = names::CORE_INSTR.get(i) {
                 self.telemetry.set_counter(name, c.instructions());
             }
         }
-        self.telemetry.set_counter("sim.instructions", retired);
+        self.telemetry.set_counter(names::SIM_INSTRUCTIONS, retired);
         let pending: usize = self.mcs.iter().map(MemController::pending_requests).sum();
-        self.telemetry.set_gauge("mc.queue_depth", pending as f64);
+        self.telemetry
+            .set_gauge(names::MC_QUEUE_DEPTH, pending as f64);
         let open: usize = self.mcs.iter().map(|m| m.device().open_banks()).sum();
-        self.telemetry.set_gauge("dram.open_banks", open as f64);
+        self.telemetry
+            .set_gauge(names::DRAM_OPEN_BANKS, open as f64);
     }
 
     fn build_report(&self) -> SimReport {
@@ -433,15 +418,21 @@ impl System {
             .unwrap_or(Ps::ZERO);
         if self.telemetry.is_enabled() {
             for &acts in &hist {
-                self.telemetry.observe("dram.acts_per_subarray", acts);
+                self.telemetry.observe(names::DRAM_ACTS_PER_SUBARRAY, acts);
             }
             let llc_total = self.llc.hits() + self.llc.misses();
             if llc_total > 0 {
-                self.telemetry
-                    .set_gauge("llc.hit_rate", self.llc.hits() as f64 / llc_total as f64);
+                self.telemetry.set_gauge(
+                    names::LLC_HIT_RATE,
+                    self.llc.hits() as f64 / llc_total as f64,
+                );
             }
             self.telemetry
-                .set_gauge("sim.elapsed_ms", elapsed.as_ps() as f64 / 1e9);
+                .set_gauge(names::SIM_ELAPSED_MS, elapsed.as_ps() as f64 / 1e9);
+            let mshr: u64 = self.cores.iter().map(|c| c.mshr_stall().as_ps()).sum();
+            let rob: u64 = self.cores.iter().map(|c| c.rob_stall().as_ps()).sum();
+            self.telemetry.set_counter(names::CORE_MSHR_STALL_PS, mshr);
+            self.telemetry.set_counter(names::CORE_ROB_STALL_PS, rob);
         }
         SimReport {
             label: self.cfg.mitigation.label(),
@@ -464,6 +455,7 @@ impl System {
             t_refi: timing.t_refi,
             t_refw: timing.t_refw,
             subchannels: self.cfg.geometry.subchannels,
+            attribution: self.telemetry.spans_summary(),
         }
     }
 }

@@ -17,14 +17,18 @@
 //! off. The simulator is single-threaded, so the enabled handle is an
 //! `Rc<RefCell<Recorder>>` clone shared by every component.
 
+pub mod chrome;
 pub mod epoch;
 pub mod heartbeat;
 pub mod histogram;
 pub mod json;
+pub mod names;
 pub mod profiler;
 pub mod registry;
 pub mod sink;
+pub mod spans;
 
+pub use chrome::ChromeTraceSink;
 pub use epoch::{EpochRecord, EpochSampler};
 pub use heartbeat::Heartbeat;
 pub use histogram::{Histogram, Summary};
@@ -32,6 +36,7 @@ pub use json::Json;
 pub use profiler::{Phase, PhaseProfiler};
 pub use registry::Registry;
 pub use sink::{EventSink, SharedBuf, TraceSink};
+pub use spans::{AttributionSummary, BankAttribution, SpanCollector, StallBucket};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -54,6 +59,9 @@ pub struct Recorder {
     pub epochs: Option<EpochSampler>,
     /// Host-phase wall-clock profiler, when attached.
     pub profiler: Option<PhaseProfiler>,
+    /// Request-lifecycle span collector (simulated-time stall
+    /// attribution, optional Chrome trace), when attached.
+    pub spans: Option<SpanCollector>,
 }
 
 /// Cheap, cloneable handle to a telemetry session.
@@ -112,6 +120,14 @@ impl Telemetry {
         self
     }
 
+    /// Attaches a request-lifecycle span collector.
+    pub fn with_spans(self, spans: SpanCollector) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().spans = Some(spans);
+        }
+        self
+    }
+
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -138,6 +154,15 @@ impl Telemetry {
         self.inner
             .as_ref()
             .is_some_and(|i| i.borrow().trace.is_some())
+    }
+
+    /// Whether a span collector is attached. The controller and device
+    /// cache this at `set_telemetry` time so the disabled hot path stays
+    /// one local bool test.
+    pub fn has_spans(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.borrow().spans.is_some())
     }
 
     /// Adds `by` to a named counter.
@@ -272,6 +297,72 @@ impl Telemetry {
         }
     }
 
+    /// Records a subchannel-wide blocking interval (REF/RFM/ALERT) for
+    /// stall attribution; see [`SpanCollector::block_span`].
+    pub fn span_block(&self, subch: u32, bucket: StallBucket, start_ps: u64, end_ps: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(s) = inner.borrow_mut().spans.as_mut() {
+                s.block_span(subch, bucket, start_ps, end_ps);
+            }
+        }
+    }
+
+    /// Attributes one finished memory request; see
+    /// [`SpanCollector::request_done`].
+    pub fn span_request(
+        &self,
+        subch: u32,
+        bank: usize,
+        arrival_ps: u64,
+        own_ps: Option<u64>,
+        issue_ps: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            if let Some(s) = inner.borrow_mut().spans.as_mut() {
+                s.request_done(subch, bank, arrival_ps, own_ps, issue_ps);
+            }
+        }
+    }
+
+    /// Records a row's open interval for the Chrome trace; see
+    /// [`SpanCollector::bank_span`].
+    pub fn span_bank(&self, subch: u32, bank: usize, row: u64, opened_ps: u64, closed_ps: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(s) = inner.borrow_mut().spans.as_mut() {
+                s.bank_span(subch, bank, row, opened_ps, closed_ps);
+            }
+        }
+    }
+
+    /// Run-level attribution rollup; `None` unless a span collector is
+    /// attached.
+    pub fn spans_summary(&self) -> Option<AttributionSummary> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.borrow().spans.as_ref().map(SpanCollector::summary))
+    }
+
+    /// Per-bank attributions in deterministic order; empty unless a span
+    /// collector is attached.
+    pub fn spans_bank_attributions(&self) -> Vec<((u32, usize), BankAttribution)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.borrow()
+                .spans
+                .as_ref()
+                .map_or_else(Vec::new, SpanCollector::bank_attributions)
+        })
+    }
+
+    /// Terminates the span collector's Chrome trace array (success path;
+    /// error paths rely on [`Telemetry::flush`] plus drop).
+    pub fn spans_finish(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(s) = inner.borrow_mut().spans.as_mut() {
+                s.finish();
+            }
+        }
+    }
+
     /// Runs `f` with the recorder (no-op when disabled). For reads at
     /// report time, not for the hot path.
     pub fn with_recorder<R>(&self, f: impl FnOnce(&mut Recorder) -> R) -> Option<R> {
@@ -307,7 +398,10 @@ impl Telemetry {
         })
     }
 
-    /// Flushes any attached sinks.
+    /// Flushes every attached sink — events, command trace, and the span
+    /// collector's Chrome trace. Error paths that bypass destructors
+    /// (`std::process::exit`) must call this so no buffered records are
+    /// lost.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
             let mut rec = inner.borrow_mut();
@@ -316,6 +410,9 @@ impl Telemetry {
             }
             if let Some(sink) = rec.trace.as_mut() {
                 sink.flush();
+            }
+            if let Some(spans) = rec.spans.as_mut() {
+                spans.flush();
             }
         }
     }
@@ -422,6 +519,60 @@ mod tests {
         assert!(d.profile_start().is_none());
         assert_eq!(d.profile(Phase::Io, || 7), 7);
         assert!(d.profile_json().is_none());
+    }
+
+    #[test]
+    fn span_collector_through_handle() {
+        let t = Telemetry::enabled().with_spans(SpanCollector::new());
+        assert!(t.has_spans());
+        t.span_block(0, StallBucket::Refresh, 50, 100);
+        t.span_request(0, 1, 0, Some(40), 120);
+        let s = t.spans_summary().unwrap();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.total_stall_ps, 120);
+        assert!(s.conserved);
+        assert_eq!(t.spans_bank_attributions().len(), 1);
+
+        let d = Telemetry::disabled().with_spans(SpanCollector::new());
+        assert!(!d.has_spans());
+        d.span_request(0, 0, 0, None, 10);
+        assert!(d.spans_summary().is_none());
+        assert!(d.spans_bank_attributions().is_empty());
+    }
+
+    #[test]
+    fn flush_covers_the_chrome_sink() {
+        // Stage bytes behind a flush boundary (like a BufWriter) and prove
+        // Telemetry::flush pushes them through — the SimError exit paths
+        // depend on this.
+        struct Staged {
+            staged: Vec<u8>,
+            out: SharedBuf,
+        }
+        impl std::io::Write for Staged {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.staged.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                let staged = std::mem::take(&mut self.staged);
+                let mut w: Box<dyn std::io::Write> = self.out.writer();
+                w.write_all(&staged)
+            }
+        }
+        let buf = SharedBuf::new();
+        let sink = ChromeTraceSink::new(Box::new(Staged {
+            staged: Vec::new(),
+            out: buf.clone(),
+        }));
+        let t = Telemetry::enabled().with_spans(SpanCollector::new().with_chrome(sink));
+        t.span_bank(0, 0, 7, 0, 1_000_000);
+        assert_eq!(buf.contents(), "", "bytes staged until flush");
+        t.flush();
+        assert!(buf.contents().contains("row7"));
+        t.spans_finish();
+        t.flush();
+        assert!(Json::parse(&buf.contents()).is_ok());
     }
 
     #[test]

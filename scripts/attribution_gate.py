@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Schema, conservation and purity gate for the attribution CSV artifact.
+
+Validates ``results/attribution.csv`` (or the path given) as produced by
+``repro attribution``:
+
+* the header matches the pinned schema exactly (any drift fails CI so the
+  artifact stays machine-consumable across PRs);
+* every row has the header's arity with well-typed fields;
+* conservation holds exactly in integer picoseconds: the six bucket
+  columns sum to ``total_stall_ps`` on every row;
+* the baseline rows report (near-)zero slowdown and zero ABO/ALERT and
+  RFM stall (the unprotected run issues neither);
+* coverage floors hold: the baseline plus >= 4 mitigator labels, each
+  over >= ``--min-workloads`` workloads (default 4, matching fast mode);
+* with ``--baseline MANIFEST.json``: each baseline row's ``elapsed_ps``
+  equals the matching run in the spans-free reference manifest — the
+  span layer must be pure observability, so even a run recorded *with*
+  spans lands on the bit-identical simulated end time.
+
+Exit status: 0 when the gate passes, 1 on any violation, 2 on usage or
+I/O errors. Standard library only.
+
+Usage:
+    scripts/attribution_gate.py [results/attribution.csv]
+        [--baseline results/baseline_fast.json] [--min-workloads N]
+"""
+
+import csv
+import json
+import sys
+
+EXPECTED_HEADER = [
+    "label",
+    "workload",
+    "elapsed_ps",
+    "ipc_sum",
+    "slowdown_pct",
+    "requests",
+    "total_stall_ps",
+    "queue_conflict_ps",
+    "bank_timing_ps",
+    "abo_alert_ps",
+    "mitigative_ref_ps",
+    "refresh_ps",
+    "rfm_ps",
+]
+
+BUCKETS = EXPECTED_HEADER[7:]
+MIN_MITIGATORS = 4
+
+
+def fail(msg):
+    print(f"attribution_gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def baseline_elapsed(manifest_path):
+    """``(workload) -> elapsed_ps`` for the baseline runs of a manifest."""
+    with open(manifest_path) as f:
+        doc = json.load(f)
+    out = {}
+    for exp in doc.get("experiments", []):
+        for run in exp.get("runs", []):
+            if run.get("label") == "baseline":
+                report = run.get("report", {})
+                out[run.get("workload")] = report.get("elapsed_ps")
+    return out
+
+
+def main():
+    args = sys.argv[1:]
+    path = "results/attribution.csv"
+    manifest = None
+    min_workloads = 4
+    it = iter(args)
+    for a in it:
+        if a == "--baseline":
+            manifest = next(it, None)
+            if manifest is None:
+                print(__doc__, file=sys.stderr)
+                return 2
+        elif a == "--min-workloads":
+            try:
+                min_workloads = int(next(it))
+            except (StopIteration, ValueError):
+                print(__doc__, file=sys.stderr)
+                return 2
+        elif a.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            path = a
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+    except OSError as e:
+        print(f"attribution_gate: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    if not rows:
+        return fail(f"{path} is empty")
+    if rows[0] != EXPECTED_HEADER:
+        return fail(f"header drift:\n  got:  {rows[0]}\n  want: {EXPECTED_HEADER}")
+
+    per_label = {}
+    parsed = []
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != len(EXPECTED_HEADER):
+            return fail(f"line {lineno}: {len(row)} fields, want {len(EXPECTED_HEADER)}")
+        rec = dict(zip(EXPECTED_HEADER, row))
+        try:
+            ints = {k: int(rec[k]) for k in ["elapsed_ps", "requests", "total_stall_ps"] + BUCKETS}
+            floats = {k: float(rec[k]) for k in ("ipc_sum", "slowdown_pct")}
+        except ValueError as e:
+            return fail(f"line {lineno}: malformed number: {e}")
+        if any(v < 0 for v in ints.values()):
+            return fail(f"line {lineno}: negative count")
+        if ints["requests"] == 0:
+            return fail(f"line {lineno}: no requests attributed")
+        if floats["ipc_sum"] <= 0:
+            return fail(f"line {lineno}: non-positive ipc_sum")
+        total = sum(ints[b] for b in BUCKETS)
+        if total != ints["total_stall_ps"]:
+            return fail(
+                f"line {lineno}: conservation leak: buckets sum to {total}, "
+                f"total_stall_ps is {ints['total_stall_ps']}"
+            )
+        if rec["label"] == "baseline":
+            if abs(floats["slowdown_pct"]) > 1e-6:
+                return fail(f"line {lineno}: baseline slowdown {floats['slowdown_pct']}")
+            for b in ("abo_alert_ps", "rfm_ps"):
+                if ints[b] != 0:
+                    return fail(f"line {lineno}: baseline charged {ints[b]} ps to {b}")
+        per_label.setdefault(rec["label"], set()).add(rec["workload"])
+        parsed.append((lineno, rec, ints))
+
+    if "baseline" not in per_label:
+        return fail("no baseline rows")
+    mitigators = sorted(set(per_label) - {"baseline"})
+    if len(mitigators) < MIN_MITIGATORS:
+        return fail(f"only {len(mitigators)} mitigator labels ({mitigators}), want >= {MIN_MITIGATORS}")
+    for label, workloads in sorted(per_label.items()):
+        if len(workloads) < min_workloads:
+            return fail(f"label {label}: {len(workloads)} workloads, want >= {min_workloads}")
+
+    if manifest is not None:
+        try:
+            reference = baseline_elapsed(manifest)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"attribution_gate: cannot read {manifest}: {e}", file=sys.stderr)
+            return 2
+        checked = 0
+        for lineno, rec, ints in parsed:
+            if rec["label"] != "baseline":
+                continue
+            want = reference.get(rec["workload"])
+            if want is None:
+                continue  # workload absent from the reference sweep
+            if ints["elapsed_ps"] != want:
+                return fail(
+                    f"line {lineno}: baseline/{rec['workload']} elapsed_ps "
+                    f"{ints['elapsed_ps']} != reference {want} — the span "
+                    f"layer perturbed the simulation"
+                )
+            checked += 1
+        if checked == 0:
+            return fail(f"no baseline row overlapped the reference manifest {manifest}")
+        print(f"attribution_gate: {checked} baseline row(s) match {manifest} exactly")
+
+    n_rows = len(rows) - 1
+    print(
+        f"attribution_gate: OK: {n_rows} rows, {len(mitigators)} mitigators + baseline, "
+        f"conservation exact on every row"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

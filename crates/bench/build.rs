@@ -1,0 +1,41 @@
+//! Embeds build provenance: the git revision and cargo profile become
+//! `env!("MIRZA_GIT_REV")` / `env!("MIRZA_BUILD_PROFILE")` for the
+//! `provenance` module. Best-effort — a tarball build without git still
+//! compiles, stamped "unknown".
+
+use std::process::Command;
+
+fn git_rev() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev)
+    }
+}
+
+fn main() {
+    let rev = git_rev().unwrap_or_else(|| "unknown".to_string());
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .map(|o| o.status.success() && !o.stdout.is_empty())
+        .unwrap_or(false);
+    let rev = if dirty { format!("{rev}-dirty") } else { rev };
+    println!("cargo:rustc-env=MIRZA_GIT_REV={rev}");
+    println!(
+        "cargo:rustc-env=MIRZA_BUILD_PROFILE={}",
+        std::env::var("PROFILE").unwrap_or_else(|_| "unknown".to_string())
+    );
+    // Re-stamp when HEAD moves (direct or via a ref update).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=../../.git/refs");
+}

@@ -5,6 +5,7 @@
 //!       [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR]
 //!       [--audit] [--strict-audit] [--compare BASELINE.json]
 //!       [--faults PLAN] [--watchdog SECS] [--trace-chrome FILE]
+//!       [--opportunity] [--out FILE] [--repeats N] [--warmup N]
 //!       [--list] [--quiet]
 //!
 //! experiments:
@@ -12,6 +13,7 @@
 //!   table10 table11 table12 table13
 //!   fig3 fig6 fig9 fig11a fig11b fig13 fig14
 //!   security dos-sim attack-matrix attribution watchdog-demo
+//!   perfbench trajectory report
 //! ```
 //!
 //! `--fast` (default) runs the self-consistent 1/16-scaled setup; `--full`
@@ -44,6 +46,16 @@
 //! to `results/attribution.csv` (`--csv` overrides; `--json` adds a
 //! manifest-style summary).
 //!
+//! Performance observatory: `perfbench` times the end-to-end Table-4
+//! suite (`--warmup`/`--repeats` tune the sampling, `--out` overrides the
+//! default `results/BENCH_<gitrev>.json`) and appends a provenance-stamped
+//! trajectory point; `trajectory` prints the committed `BENCH_*.json`
+//! history with soft regression flags (twin of `scripts/perf_gate.py`);
+//! `report` assembles `results/report.html` (`--out` overrides) from the
+//! trajectory, attribution CSV, attack-matrix CSV, and epoch streams.
+//! `--opportunity` arms the skip-ahead opportunity counters on manifest
+//! runs (idle scheduler passes, eager timing probes, skip-gap histogram).
+//!
 //! Exit codes mirror `SimError`: 0 success, 1 usage/comparison failure,
 //! 2 unknown workload, 3 trace parse, 4 config, 5 I/O, 6 watchdog.
 
@@ -57,7 +69,10 @@ use mirza_bench::compare::compare_manifests;
 use mirza_bench::experiments;
 use mirza_bench::extensions;
 use mirza_bench::lab::Lab;
+use mirza_bench::perfbench::{self, PerfBench};
+use mirza_bench::report;
 use mirza_bench::scale::Scale;
+use mirza_bench::trajectory;
 use mirza_sim::config::MitigationConfig;
 use mirza_sim::faults::{FaultPlan, CANNED_PLANS};
 use mirza_sim::runner::{run_stalled, run_tracefile};
@@ -77,6 +92,9 @@ const ATTACK_EXPERIMENTS: &[&str] = &["fig14", "security"];
 // Deliberately not part of `all`: keeps `--compare` manifests and the CI
 // bench gate bit-identical to the pre-framework baselines.
 const MATRIX_EXPERIMENTS: &[&str] = &["attack-matrix", "attribution"];
+// Also standalone: the performance observatory reads/writes results/
+// artifacts rather than producing paper tables.
+const OBSERVATORY_EXPERIMENTS: &[&str] = &["perfbench", "trajectory", "report"];
 const EXTENSION_EXPERIMENTS: &[&str] = &[
     "ablation-mapping",
     "ablation-qth",
@@ -123,14 +141,16 @@ fn usage() -> ExitCode {
         "usage: repro <experiment|all|ablations|PATH.trace> [--smoke|--fast|--full] \
          [--seed N] [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
          [--strict-audit] [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS] \
-         [--trace-chrome FILE] [--list] [--quiet]\n\
-         experiments: {} {} {} {} {} watchdog-demo\n\
+         [--trace-chrome FILE] [--opportunity] [--out FILE] [--repeats N] [--warmup N] \
+         [--list] [--quiet]\n\
+         experiments: {} {} {} {} {} {} watchdog-demo\n\
          fault plans: {} (tunable as name:key=value,...)",
         ANALYTIC_EXPERIMENTS.join(" "),
         SIM_EXPERIMENTS.join(" "),
         ATTACK_EXPERIMENTS.join(" "),
         MATRIX_EXPERIMENTS.join(" "),
         EXTENSION_EXPERIMENTS.join(" "),
+        OBSERVATORY_EXPERIMENTS.join(" "),
         CANNED_PLANS.join(" "),
     );
     ExitCode::FAILURE
@@ -272,6 +292,63 @@ fn attribution_cmd(
     ExitCode::SUCCESS
 }
 
+/// Runs the perfbench suite and writes the trajectory point (default
+/// `results/BENCH_<gitrev>.json`, `--out` overrides).
+fn perfbench_cmd(
+    scale: Scale,
+    out: Option<std::path::PathBuf>,
+    warmup: Option<u64>,
+    repeats: Option<u64>,
+    verbose: bool,
+) -> ExitCode {
+    let mut bench = PerfBench::new(scale);
+    bench.verbose = verbose;
+    if let Some(w) = warmup {
+        bench.warmup = w;
+    }
+    if let Some(r) = repeats {
+        bench.repeats = r.max(1);
+    }
+    let doc = bench.run();
+    let path = out.unwrap_or_else(|| std::path::PathBuf::from("results").join(doc.file_name()));
+    print!("{}", perfbench::summary_table(&doc));
+    if let Err(e) = doc.write(&path) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if verbose {
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints the perf trajectory over every committed `BENCH_*.json` plus
+/// soft regression flags. Always exits 0: the hard gate (with `--strict`)
+/// is `scripts/perf_gate.py` in CI.
+fn trajectory_cmd() -> ExitCode {
+    let docs = trajectory::load_dir(std::path::Path::new("results"));
+    print!("{}", trajectory::table(&docs));
+    for flag in trajectory::regressions(&docs, trajectory::NOISE_THRESHOLD_PCT) {
+        println!("{flag}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Assembles the unified HTML run report from `results/` (default output
+/// `results/report.html`, `--out` overrides).
+fn report_cmd(out: Option<std::path::PathBuf>, verbose: bool) -> ExitCode {
+    let results = std::path::Path::new("results");
+    let path = out.unwrap_or_else(|| results.join("report.html"));
+    if let Err(e) = report::write(results, &path) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    if verbose {
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
 fn list_experiments() -> ExitCode {
     for (category, names) in [
         (
@@ -282,6 +359,7 @@ fn list_experiments() -> ExitCode {
         ("attack (run by `all`)", ATTACK_EXPERIMENTS),
         ("attack matrix (standalone)", MATRIX_EXPERIMENTS),
         ("extensions (run by `ablations`)", EXTENSION_EXPERIMENTS),
+        ("observatory (standalone)", OBSERVATORY_EXPERIMENTS),
     ] {
         println!("{category}:");
         for name in names {
@@ -306,9 +384,26 @@ fn main() -> ExitCode {
     let mut faults: Option<String> = None;
     let mut watchdog: Option<u64> = None;
     let mut trace_chrome: Option<std::path::PathBuf> = None;
+    let mut opportunity = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut repeats: Option<u64> = None;
+    let mut warmup: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--opportunity" => opportunity = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(std::path::PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--repeats" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => repeats = Some(n),
+                _ => return usage(),
+            },
+            "--warmup" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => warmup = Some(n),
+                None => return usage(),
+            },
             "--faults" => match it.next() {
                 Some(p) => faults = Some(p.clone()),
                 None => return usage(),
@@ -381,7 +476,17 @@ fn main() -> ExitCode {
     if target == "attribution" {
         return attribution_cmd(scale, csv, json, trace_chrome, verbose);
     }
+    if target == "perfbench" {
+        return perfbench_cmd(scale, out, warmup, repeats, verbose);
+    }
+    if target == "trajectory" {
+        return trajectory_cmd();
+    }
+    if target == "report" {
+        return report_cmd(out, verbose);
+    }
     let mut lab = Lab::new(scale);
+    lab.opportunity = opportunity;
     lab.fault_plan = fault_plan;
     lab.watchdog_wall_secs = watchdog;
     lab.manifest_path = json.clone();

@@ -46,6 +46,10 @@ pub struct Lab {
     /// Attach the request-lifecycle span collector to every fresh run, so
     /// each report carries per-bucket stall attribution.
     pub attribution: bool,
+    /// Arm the hot-path opportunity counters (`mc.opp_*`, `dram.opp_*`)
+    /// on every fresh run; each run record then carries an `opportunity`
+    /// summary sizing the next-event skip-ahead win.
+    pub opportunity: bool,
     /// Base path for Chrome trace-event JSON. Each fresh run writes
     /// `<stem>_<label>-<workload>.<ext>` next to it (implies spans).
     pub trace_chrome: Option<std::path::PathBuf>,
@@ -72,6 +76,7 @@ impl Lab {
             watchdog_wall_secs: None,
             manifest_path: None,
             attribution: false,
+            opportunity: false,
             trace_chrome: None,
         }
     }
@@ -114,6 +119,9 @@ impl Lab {
         let verdict = injector
             .is_some()
             .then(|| Self::security_verdict(cfg, telemetry));
+        let opportunity = self
+            .opportunity
+            .then(|| Self::opportunity_summary(telemetry));
         let Some(groups) = &mut self.manifest else {
             return;
         };
@@ -140,6 +148,9 @@ impl Lab {
         }
         if let Some(v) = verdict {
             run.push("security_verdict", v);
+        }
+        if let Some(o) = opportunity {
+            run.push("opportunity", o);
         }
         groups
             .last_mut()
@@ -175,6 +186,52 @@ impl Lab {
         v
     }
 
+    /// Distills the run's opportunity counters into the manifest section
+    /// that sizes the next-event skip-ahead rework: how many scheduler
+    /// passes did no work, how much eager `earliest` scanning happened,
+    /// and how far ahead the next pending command usually sat.
+    fn opportunity_summary(telemetry: &Telemetry) -> Json {
+        let passes = telemetry.counter(names::MC_OPP_SCHED_PASSES);
+        let idle = telemetry.counter(names::MC_OPP_IDLE_PASSES);
+        let mut o = Json::obj();
+        o.push("sched_passes", passes)
+            .push("idle_passes", idle)
+            .push(
+                "idle_pass_frac",
+                if passes > 0 {
+                    idle as f64 / passes as f64
+                } else {
+                    0.0
+                },
+            )
+            .push(
+                "earliest_probes",
+                telemetry.counter(names::DRAM_OPP_EARLIEST_PROBES),
+            );
+        let gap = telemetry
+            .with_recorder(|r| {
+                r.registry
+                    .histogram(names::MC_OPP_SKIP_GAP_NS)
+                    .map(mirza_telemetry::Histogram::summary)
+            })
+            .flatten();
+        match gap {
+            Some(s) => {
+                let mut g = Json::obj();
+                g.push("count", s.count)
+                    .push("p50", s.p50)
+                    .push("p90", s.p90)
+                    .push("p99", s.p99)
+                    .push("max", s.max);
+                o.push("skip_gap_ns", g);
+            }
+            None => {
+                o.push("skip_gap_ns", Json::Null);
+            }
+        }
+        o
+    }
+
     /// The manifest document collected so far (`None` unless enabled).
     /// Cache recalls are not re-recorded: each simulated run appears once,
     /// under the experiment that first triggered it.
@@ -191,6 +248,9 @@ impl Lab {
         let mut doc = Json::obj();
         doc.push("scale", self.scale.to_json())
             .push("seed", self.scale.seed)
+            // Top-level only: both gates (compare.rs, bench_gate.py) key on
+            // scale/seed/runs, so provenance never trips a regression diff.
+            .push("provenance", crate::provenance::to_json())
             .push("experiments", experiments);
         Some(doc)
     }
@@ -286,11 +346,14 @@ impl Lab {
         cfg.watchdog_wall = self.watchdog_wall_secs.map(std::time::Duration::from_secs);
         let probing = self.epoch_ps.is_some() || cfg.audit;
         let spanning = self.attribution || self.trace_chrome.is_some();
-        let mut telemetry = if self.manifest.is_some() || probing || spanning {
+        let mut telemetry = if self.manifest.is_some() || probing || spanning || self.opportunity {
             Telemetry::enabled()
         } else {
             Telemetry::disabled()
         };
+        if self.opportunity {
+            telemetry = telemetry.with_opportunity();
+        }
         if let Some(ps) = self.epoch_ps {
             telemetry = telemetry.with_epochs(EpochSampler::new(ps));
         }

@@ -17,6 +17,14 @@
 //!   (`--smoke`, `--fast`, `--full`).
 //! * [`compare`] — manifest regression diffing for `repro --compare` and
 //!   the CI bench gate.
+//! * [`perfbench`] — the wall-clock/throughput benchmark harness behind
+//!   `repro perfbench`, emitting schema'd `BENCH_<gitrev>.json` documents.
+//! * [`trajectory`] — loads committed `BENCH_*.json` documents and renders
+//!   the perf trajectory table plus soft regression flags.
+//! * [`report`] — assembles `results/report.html` from whatever artifacts
+//!   are present (`repro report`).
+//! * [`provenance`] — git revision, cargo profile, and host fingerprint
+//!   stamped into manifests and bench documents.
 
 pub mod analytic;
 pub mod attack_matrix;
@@ -26,4 +34,8 @@ pub mod compare;
 pub mod experiments;
 pub mod extensions;
 pub mod lab;
+pub mod perfbench;
+pub mod provenance;
+pub mod report;
 pub mod scale;
+pub mod trajectory;

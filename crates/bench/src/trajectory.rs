@@ -1,0 +1,235 @@
+//! Performance trajectory: loads every committed `BENCH_*.json`
+//! document, orders them by capture time, and renders the table (and
+//! regression flags) behind `repro trajectory`. The Python twin for CI is
+//! `scripts/perf_gate.py`; both implement the same soft-gate semantics.
+
+use std::path::Path;
+
+use mirza_telemetry::Json;
+
+use crate::perfbench::BenchDoc;
+
+/// Relative slowdown between the two newest points beyond which a target
+/// is flagged. Wall-clock on shared CI runners is noisy; 15% separates
+/// real algorithmic regressions from scheduler jitter.
+pub const NOISE_THRESHOLD_PCT: f64 = 15.0;
+
+/// Loads and parses every `BENCH_*.json` under `dir`, sorted by capture
+/// time (ties by file name). Unparseable or foreign-schema files are
+/// skipped with a warning on stderr rather than sinking the whole table.
+pub fn load_dir(dir: &Path) -> Vec<BenchDoc> {
+    let mut docs: Vec<(u64, String, BenchDoc)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let path = entry.path();
+        let parsed = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|v| BenchDoc::from_json(&v));
+        match parsed {
+            Some(doc) => docs.push((doc.unix_time, name, doc)),
+            None => eprintln!("warning: skipping unreadable bench doc {}", path.display()),
+        }
+    }
+    docs.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    docs.into_iter().map(|(_, _, d)| d).collect()
+}
+
+/// Percent change from `base` to `new` (positive = slower).
+fn pct(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Renders the trajectory table: one row per document, oldest first,
+/// with the suite median and its delta against the previous point.
+pub fn table(docs: &[BenchDoc]) -> String {
+    if docs.is_empty() {
+        return "no BENCH_*.json documents found\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>9} {:>12} {:>10} {:>8} {:>8}\n",
+        "rev", "targets", "repeats", "suite_med_s", "delta_pct", "profile", "host"
+    ));
+    let mut prev: Option<f64> = None;
+    for doc in docs {
+        let suite = doc.suite_median_secs();
+        let delta = prev.map_or_else(|| "-".to_string(), |p| format!("{:+.1}%", pct(p, suite)));
+        let profile = doc
+            .provenance
+            .get("cargo_profile")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let host = doc
+            .provenance
+            .get("host")
+            .map(|h| {
+                format!(
+                    "{}/{}",
+                    h.get("os").and_then(Json::as_str).unwrap_or("?"),
+                    h.get("arch").and_then(Json::as_str).unwrap_or("?")
+                )
+            })
+            .unwrap_or_else(|| "?".to_string());
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>9} {:>12.3} {:>10} {:>8} {:>8}\n",
+            doc.git_rev(),
+            doc.targets.len(),
+            doc.repeats,
+            suite,
+            delta,
+            profile,
+            host
+        ));
+        prev = Some(suite);
+    }
+    out
+}
+
+/// Compares the two newest documents target-by-target and returns one
+/// line per regression beyond `threshold_pct`. Targets are matched by
+/// name; the suite total is checked too. Fewer than two points, or
+/// points from different hosts/profiles, yield no flags (apples to
+/// oranges is noise, not signal).
+pub fn regressions(docs: &[BenchDoc], threshold_pct: f64) -> Vec<String> {
+    let [.., prev, last] = docs else {
+        return Vec::new();
+    };
+    let comparable = |d: &BenchDoc, k: &str| d.provenance.get(k).cloned().unwrap_or(Json::Null);
+    if comparable(prev, "host") != comparable(last, "host")
+        || comparable(prev, "cargo_profile") != comparable(last, "cargo_profile")
+    {
+        return vec![format!(
+            "note: {} and {} ran on different hosts/profiles; skipping comparison",
+            prev.git_rev(),
+            last.git_rev()
+        )];
+    }
+    let mut out = Vec::new();
+    let suite_delta = pct(prev.suite_median_secs(), last.suite_median_secs());
+    if suite_delta > threshold_pct {
+        out.push(format!(
+            "PERF-REGRESSION suite: {:.3}s -> {:.3}s ({suite_delta:+.1}% > {threshold_pct}%)",
+            prev.suite_median_secs(),
+            last.suite_median_secs()
+        ));
+    }
+    for t in &last.targets {
+        let Some(base) = prev.targets.iter().find(|p| p.name == t.name) else {
+            continue;
+        };
+        let delta = pct(base.wall_secs.median, t.wall_secs.median);
+        if delta > threshold_pct {
+            out.push(format!(
+                "PERF-REGRESSION {}: {:.3}s -> {:.3}s ({delta:+.1}% > {threshold_pct}%)",
+                t.name, base.wall_secs.median, t.wall_secs.median
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfbench::{Stats, Target};
+
+    fn doc(rev: &str, unix_time: u64, medians: &[(&str, f64)]) -> BenchDoc {
+        let mut prov = Json::obj();
+        let mut host = Json::obj();
+        host.push("os", "linux")
+            .push("arch", "x86_64")
+            .push("cpus", 8u64);
+        prov.push("git_rev", rev)
+            .push("cargo_profile", "release")
+            .push("host", host);
+        BenchDoc {
+            provenance: prov,
+            unix_time,
+            scale: Json::obj(),
+            warmup: 1,
+            repeats: 3,
+            targets: medians
+                .iter()
+                .map(|(name, m)| Target {
+                    name: (*name).to_string(),
+                    wall_secs: Stats::from_samples(&[*m]),
+                    sim_ns_per_sec: Stats::from_samples(&[1.0]),
+                    sim_time_ps: 1,
+                    instructions: 1,
+                    commands: 1,
+                    quanta: 1,
+                })
+                .collect(),
+            total_wall_secs: medians.iter().map(|(_, m)| m).sum(),
+            phase_breakdown: Json::Null,
+            opportunity: Json::Null,
+        }
+    }
+
+    #[test]
+    fn load_dir_sorts_by_time_and_skips_garbage() {
+        let dir = std::env::temp_dir().join(format!("mirza_traj_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        doc("bbb", 200, &[("table4/lbm", 1.0)])
+            .write(&dir.join("BENCH_bbb.json"))
+            .unwrap();
+        doc("aaa", 100, &[("table4/lbm", 2.0)])
+            .write(&dir.join("BENCH_aaa.json"))
+            .unwrap();
+        std::fs::write(dir.join("BENCH_junk.json"), "{ not json").unwrap();
+        std::fs::write(dir.join("unrelated.json"), "{}").unwrap();
+        let docs = load_dir(&dir);
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].git_rev(), "aaa");
+        assert_eq!(docs[1].git_rev(), "bbb");
+        let text = table(&docs);
+        assert!(text.contains("aaa") && text.contains("bbb"));
+        assert!(text.contains("-50.0%"), "delta column present:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regressions_flag_only_beyond_threshold() {
+        let a = doc("aaa", 100, &[("table4/lbm", 1.0), ("table4/bc", 1.0)]);
+        let b = doc("bbb", 200, &[("table4/lbm", 1.05), ("table4/bc", 1.5)]);
+        let flags = regressions(&[a.clone(), b], NOISE_THRESHOLD_PCT);
+        assert_eq!(flags.len(), 2, "suite +27.5% and bc +50%: {flags:?}");
+        assert!(flags[0].contains("suite"));
+        assert!(flags[1].contains("table4/bc"));
+        // Improvements and within-noise drift are quiet.
+        let c = doc("ccc", 300, &[("table4/lbm", 1.0), ("table4/bc", 1.0)]);
+        assert!(regressions(&[a.clone(), c], NOISE_THRESHOLD_PCT).is_empty());
+        // A single point has nothing to compare against.
+        assert!(regressions(&[a], NOISE_THRESHOLD_PCT).is_empty());
+    }
+
+    #[test]
+    fn cross_host_points_are_not_compared() {
+        let a = doc("aaa", 100, &[("table4/lbm", 1.0)]);
+        let mut b = doc("bbb", 200, &[("table4/lbm", 9.0)]);
+        let mut host = Json::obj();
+        host.push("os", "macos")
+            .push("arch", "aarch64")
+            .push("cpus", 4u64);
+        let mut prov = Json::obj();
+        prov.push("git_rev", "bbb")
+            .push("cargo_profile", "release")
+            .push("host", host);
+        b.provenance = prov;
+        let flags = regressions(&[a, b], NOISE_THRESHOLD_PCT);
+        assert_eq!(flags.len(), 1);
+        assert!(flags[0].contains("different hosts"));
+    }
+}

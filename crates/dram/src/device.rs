@@ -74,6 +74,12 @@ pub struct Subchannel {
     subch_index: u32,
     /// Cached `telemetry.has_spans()` so precharges test one local bool.
     spans: bool,
+    /// Cached `telemetry.has_opportunity()`: counts `earliest` probes.
+    opp: bool,
+    /// Cumulative `earliest` probe count while opportunity counters are
+    /// armed. A `Cell` because `earliest` takes `&self` on the hot path;
+    /// drained into telemetry by the owning controller per pass.
+    earliest_probes: std::cell::Cell<u64>,
     telemetry: Telemetry,
     /// Independent protocol auditor (shadow checker), when enabled. Boxed:
     /// its per-bank shadow state is only paid for by auditing runs.
@@ -123,6 +129,8 @@ impl Subchannel {
             rowpress_weighting: false,
             subch_index: 0,
             spans: false,
+            opp: false,
+            earliest_probes: std::cell::Cell::new(0),
             telemetry: Telemetry::disabled(),
             audit: None,
             timing,
@@ -170,6 +178,7 @@ impl Subchannel {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.mitigator.set_telemetry(telemetry.clone());
         self.spans = telemetry.has_spans();
+        self.opp = telemetry.has_opportunity();
         self.telemetry = telemetry;
     }
 
@@ -297,6 +306,9 @@ impl Subchannel {
     /// command is illegal in the current row-buffer state (e.g. ACT to an
     /// open bank, RD to a closed or mismatched row).
     pub fn earliest(&self, cmd: &Command) -> Option<Ps> {
+        if self.opp {
+            self.earliest_probes.set(self.earliest_probes.get() + 1);
+        }
         let t = &self.timing;
         let e = match *cmd {
             Command::Act { bank, .. } => {
@@ -360,6 +372,12 @@ impl Subchannel {
             }
         };
         Some(e.max(self.global_block))
+    }
+
+    /// Cumulative [`Subchannel::earliest`] probe count (0 unless
+    /// opportunity counters are armed). Purely observational.
+    pub fn earliest_probes(&self) -> u64 {
+        self.earliest_probes.get()
     }
 
     /// Commits `cmd` at instant `now`.

@@ -65,6 +65,9 @@ pub struct MemController {
     /// Cached `telemetry.has_spans()` so the hot path tests one local bool
     /// instead of borrowing the recorder.
     spans: bool,
+    /// Cached `telemetry.has_opportunity()`: arms the per-pass work
+    /// counters and skip-gap histogram in `run_until`.
+    opp: bool,
     /// Length of the current streak of row-buffer hits (for the
     /// `mc.row_hit_run` histogram; flushed when a miss/conflict breaks it).
     hit_run: u64,
@@ -95,6 +98,7 @@ impl MemController {
             stats: McStats::default(),
             telemetry: Telemetry::disabled(),
             spans: false,
+            opp: false,
             hit_run: 0,
             device,
         }
@@ -105,6 +109,7 @@ impl MemController {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.device.set_telemetry(telemetry.clone());
         self.spans = telemetry.has_spans();
+        self.opp = telemetry.has_opportunity();
         self.telemetry = telemetry;
     }
 
@@ -331,11 +336,28 @@ impl MemController {
 
     /// Issues every command whose legal instant is at or before `t_end`,
     /// appending read/write completions to `out`.
+    ///
+    /// With opportunity counters armed, each call is one "scheduler pass":
+    /// commands issued, `earliest` probes burned, and the gap to the next
+    /// pending command past the window are recorded — the raw material for
+    /// sizing a next-event skip-ahead rework of this eager loop.
     pub fn run_until(&mut self, t_end: Ps, out: &mut Vec<Completion>) {
+        let opp = self.opp;
+        let mut pass_cmds: u64 = 0;
+        let probes_before = if opp {
+            self.device.earliest_probes()
+        } else {
+            0
+        };
         while let Some((cmd, at)) = self.next_action() {
             if at > t_end {
+                if opp {
+                    self.telemetry
+                        .observe(names::MC_OPP_SKIP_GAP_NS, (at - t_end).as_ps() / 1000);
+                }
                 break;
             }
+            pass_cmds += 1;
             self.now = at;
             self.telemetry
                 .trace_line(|| trace_line(self.subch, &cmd, at));
@@ -503,6 +525,19 @@ impl MemController {
                     &[("subch", Json::U64(u64::from(self.subch)))],
                 );
             }
+        }
+        if opp {
+            self.telemetry.inc(names::MC_OPP_SCHED_PASSES, 1);
+            if pass_cmds == 0 {
+                self.telemetry.inc(names::MC_OPP_IDLE_PASSES, 1);
+            }
+            self.telemetry
+                .observe(names::MC_OPP_CMDS_PER_PASS, pass_cmds);
+            // Accumulate the per-pass probe delta so the counter sums over
+            // both sub-channel devices.
+            let delta = self.device.earliest_probes() - probes_before;
+            self.telemetry.observe(names::MC_OPP_PROBES_PER_PASS, delta);
+            self.telemetry.inc(names::DRAM_OPP_EARLIEST_PROBES, delta);
         }
     }
 }

@@ -25,6 +25,7 @@ pub mod json;
 pub mod names;
 pub mod profiler;
 pub mod registry;
+pub mod report;
 pub mod sink;
 pub mod spans;
 
@@ -35,6 +36,7 @@ pub use histogram::{Histogram, Summary};
 pub use json::Json;
 pub use profiler::{Phase, PhaseProfiler};
 pub use registry::Registry;
+pub use report::HtmlReport;
 pub use sink::{EventSink, SharedBuf, TraceSink};
 pub use spans::{AttributionSummary, BankAttribution, SpanCollector, StallBucket};
 
@@ -62,6 +64,9 @@ pub struct Recorder {
     /// Request-lifecycle span collector (simulated-time stall
     /// attribution, optional Chrome trace), when attached.
     pub spans: Option<SpanCollector>,
+    /// Whether hot-path opportunity counters are armed (per-pass work
+    /// counters and skip-gap histograms in the controller and device).
+    pub opportunity: bool,
 }
 
 /// Cheap, cloneable handle to a telemetry session.
@@ -128,6 +133,14 @@ impl Telemetry {
         self
     }
 
+    /// Arms the hot-path opportunity counters (`mc.opp_*`, `dram.opp_*`).
+    pub fn with_opportunity(self) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().opportunity = true;
+        }
+        self
+    }
+
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -163,6 +176,12 @@ impl Telemetry {
         self.inner
             .as_ref()
             .is_some_and(|i| i.borrow().spans.is_some())
+    }
+
+    /// Whether opportunity counters are armed. Cached by the controller
+    /// and device at `set_telemetry` time, like [`Telemetry::has_spans`].
+    pub fn has_opportunity(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.borrow().opportunity)
     }
 
     /// Adds `by` to a named counter.
@@ -573,6 +592,17 @@ mod tests {
         t.spans_finish();
         t.flush();
         assert!(Json::parse(&buf.contents()).is_ok());
+    }
+
+    #[test]
+    fn opportunity_flag_through_handle() {
+        let t = Telemetry::enabled();
+        assert!(!t.has_opportunity());
+        let t = t.with_opportunity();
+        assert!(t.has_opportunity());
+        // Arming a disabled handle stays inert.
+        let d = Telemetry::disabled().with_opportunity();
+        assert!(!d.has_opportunity());
     }
 
     #[test]

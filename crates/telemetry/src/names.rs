@@ -36,12 +36,34 @@ pub const MC_RFMS: &str = "mc.rfms";
 /// Gauge: outstanding requests across all bank queues (epoch input).
 pub const MC_QUEUE_DEPTH: &str = "mc.queue_depth";
 
+// --- Hot-path opportunity counters (memctrl::controller) ---
+//
+// Armed with `Telemetry::with_opportunity`; they size the ROADMAP item-2
+// next-event skip-ahead rework. A "pass" is one `run_until` call — the
+// system's inner progress loop makes at least two per quantum per
+// controller, so idle passes measure wasted rescans directly.
+
+/// Counter: scheduler passes (`run_until` calls) executed.
+pub const MC_OPP_SCHED_PASSES: &str = "mc.opp_sched_passes";
+/// Counter: scheduler passes that issued zero commands.
+pub const MC_OPP_IDLE_PASSES: &str = "mc.opp_idle_passes";
+/// Histogram: commands issued per scheduler pass.
+pub const MC_OPP_CMDS_PER_PASS: &str = "mc.opp_cmds_per_pass";
+/// Histogram: device `earliest` probes per scheduler pass.
+pub const MC_OPP_PROBES_PER_PASS: &str = "mc.opp_probes_per_pass";
+/// Histogram: gap from the window end to the next pending command's legal
+/// instant, in nanoseconds — the time a next-event loop could skip.
+pub const MC_OPP_SKIP_GAP_NS: &str = "mc.opp_skip_gap_ns";
+
 // --- Device metrics (dram::device, sim::system) ---
 
 /// Gauge: banks with an open row (epoch input).
 pub const DRAM_OPEN_BANKS: &str = "dram.open_banks";
 /// Histogram: end-of-run ACT count per (bank, subarray).
 pub const DRAM_ACTS_PER_SUBARRAY: &str = "dram.acts_per_subarray";
+/// Counter: `Subchannel::earliest` timing probes across both devices —
+/// the eager-scan work a next-event scheduler would avoid repeating.
+pub const DRAM_OPP_EARLIEST_PROBES: &str = "dram.opp_earliest_probes";
 
 // --- System metrics (sim::system) ---
 
@@ -151,8 +173,14 @@ pub const ALL_METRICS: &[&str] = &[
     MC_ALERTS,
     MC_RFMS,
     MC_QUEUE_DEPTH,
+    MC_OPP_SCHED_PASSES,
+    MC_OPP_IDLE_PASSES,
+    MC_OPP_CMDS_PER_PASS,
+    MC_OPP_PROBES_PER_PASS,
+    MC_OPP_SKIP_GAP_NS,
     DRAM_OPEN_BANKS,
     DRAM_ACTS_PER_SUBARRAY,
+    DRAM_OPP_EARLIEST_PROBES,
     SIM_INSTRUCTIONS,
     SIM_ELAPSED_MS,
     LLC_HIT_RATE,

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Soft performance gate over the committed ``BENCH_*.json`` trajectory.
+
+Python twin of ``repro trajectory`` (``crates/bench/src/trajectory.rs``):
+loads every ``BENCH_*.json`` under the results directory, prints the
+trajectory table, and compares the two newest points target-by-target.
+A positive suite or per-target median-wall-clock delta beyond the noise
+threshold prints a ``PERF-REGRESSION`` line.
+
+Points captured on different hosts or cargo profiles are never compared
+(a note is printed instead): cross-machine wall-clock deltas are noise,
+not signal.
+
+Soft by default — regressions are reported but the exit status stays 0,
+so a slow CI runner cannot block a merge; ``--strict`` turns any flag
+into exit status 1. Exit status 2 means usage/IO errors or no parseable
+bench documents when ``--strict`` is set. Standard library only.
+
+Usage:
+    scripts/perf_gate.py [RESULTS_DIR] [--threshold PCT] [--strict]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "mirza-perfbench-v1"
+# Keep in sync with trajectory::NOISE_THRESHOLD_PCT.
+NOISE_THRESHOLD_PCT = 15.0
+
+
+def load_docs(results_dir):
+    """Parse every BENCH_*.json, sorted by (unix_time, file name)."""
+    docs = []
+    for path in sorted(Path(results_dir).glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable bench doc {path}: {err}",
+                  file=sys.stderr)
+            continue
+        if doc.get("schema") != SCHEMA:
+            print(f"warning: skipping {path}: schema {doc.get('schema')!r}",
+                  file=sys.stderr)
+            continue
+        docs.append((doc.get("unix_time", 0), path.name, doc))
+    docs.sort(key=lambda t: (t[0], t[1]))
+    return [doc for _, _, doc in docs]
+
+
+def suite_median(doc):
+    """Sum of per-target median wall seconds — the headline number."""
+    return sum(t["wall_secs"]["median"] for t in doc.get("targets", []))
+
+
+def pct(base, new):
+    return 0.0 if base <= 0 else (new - base) / base * 100.0
+
+
+def provenance_key(doc):
+    prov = doc.get("provenance", {})
+    return (json.dumps(prov.get("host"), sort_keys=True),
+            prov.get("cargo_profile"))
+
+
+def print_table(docs):
+    print(f"{'rev':<16} {'targets':>8} {'repeats':>9} {'suite_med_s':>12} "
+          f"{'delta_pct':>10} {'profile':>8} {'host':>8}")
+    prev = None
+    for doc in docs:
+        suite = suite_median(doc)
+        delta = "-" if prev is None else f"{pct(prev, suite):+.1f}%"
+        prov = doc.get("provenance", {})
+        host = prov.get("host", {})
+        host_str = f"{host.get('os', '?')}/{host.get('arch', '?')}"
+        print(f"{prov.get('git_rev', '?'):<16} {len(doc.get('targets', [])):>8} "
+              f"{doc.get('repeats', 0):>9} {suite:>12.3f} {delta:>10} "
+              f"{prov.get('cargo_profile', '?'):>8} {host_str:>8}")
+        prev = suite
+
+
+def regressions(docs, threshold):
+    """PERF-REGRESSION lines comparing the two newest comparable points."""
+    if len(docs) < 2:
+        return []
+    prev, last = docs[-2], docs[-1]
+    if provenance_key(prev) != provenance_key(last):
+        prev_rev = prev.get("provenance", {}).get("git_rev", "?")
+        last_rev = last.get("provenance", {}).get("git_rev", "?")
+        return [f"note: {prev_rev} and {last_rev} ran on different "
+                "hosts/profiles; skipping comparison"]
+    flags = []
+    base, new = suite_median(prev), suite_median(last)
+    delta = pct(base, new)
+    if delta > threshold:
+        flags.append(f"PERF-REGRESSION suite: {base:.3f}s -> {new:.3f}s "
+                     f"({delta:+.1f}% > {threshold}%)")
+    base_by_name = {t["name"]: t for t in prev.get("targets", [])}
+    for t in last.get("targets", []):
+        b = base_by_name.get(t["name"])
+        if b is None:
+            continue
+        delta = pct(b["wall_secs"]["median"], t["wall_secs"]["median"])
+        if delta > threshold:
+            flags.append(f"PERF-REGRESSION {t['name']}: "
+                         f"{b['wall_secs']['median']:.3f}s -> "
+                         f"{t['wall_secs']['median']:.3f}s "
+                         f"({delta:+.1f}% > {threshold}%)")
+    return flags
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="soft perf gate over committed BENCH_*.json documents")
+    parser.add_argument("results_dir", nargs="?", default="results")
+    parser.add_argument("--threshold", type=float,
+                        default=NOISE_THRESHOLD_PCT,
+                        help="flag deltas beyond this percent "
+                             f"(default {NOISE_THRESHOLD_PCT})")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any PERF-REGRESSION flag")
+    args = parser.parse_args()
+
+    if not Path(args.results_dir).is_dir():
+        print(f"error: no such directory: {args.results_dir}",
+              file=sys.stderr)
+        return 2
+    docs = load_docs(args.results_dir)
+    if not docs:
+        print(f"no BENCH_*.json documents found in {args.results_dir}")
+        return 2 if args.strict else 0
+    print_table(docs)
+    flags = regressions(docs, args.threshold)
+    for flag in flags:
+        print(flag)
+    hard = [f for f in flags if f.startswith("PERF-REGRESSION")]
+    if hard and not args.strict:
+        print(f"(soft gate: {len(hard)} flag(s); rerun with --strict to fail)")
+    return 1 if args.strict and hard else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,10 @@
 """Splice measured fast-mode numbers from results/repro_fast_output.txt into
 EXPERIMENTS.md (replaces the MEASURED_* placeholders).
 
+The raw output file is not committed; regenerate it first with
+`cargo run --release -p mirza-bench --bin repro -- all --fast \
+ > results/repro_fast_output.txt`.
+
 Usage: python3 scripts/update_experiments.py
 """
 import re

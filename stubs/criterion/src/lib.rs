@@ -2,53 +2,87 @@
 //!
 //! The build environment has no crates.io access, so the workspace patches
 //! `criterion` to this crate (see `[patch.crates-io]` in the root
-//! `Cargo.toml`). Benches compile and run; each `bench_function` executes
-//! its closure `sample_size` times and prints a mean wall-clock duration —
-//! enough for coarse regression spotting, with none of criterion's
-//! statistics.
+//! `Cargo.toml`). Benches compile and run; each `bench_function` discards
+//! `warm_up_samples` warmup executions, then times `sample_size` samples
+//! and prints min/median/mean per-iteration wall-clock — enough for coarse
+//! regression spotting, with none of criterion's estimators. The canonical
+//! trajectory harness is `repro perfbench`, which adds stddev/p99 and
+//! persists `BENCH_*.json` documents.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Benchmark driver (subset: `bench_function`, `sample_size`).
+/// Benchmark driver (subset: `bench_function`, `sample_size`,
+/// `warm_up_time`).
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    warm_up_samples: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            warm_up_samples: 1,
+        }
     }
 }
 
 impl Criterion {
-    /// Sets how many times each benchmark closure runs.
+    /// Sets how many timed samples each benchmark collects.
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
         self
     }
 
-    /// Runs `f` `sample_size` times and prints the mean duration.
+    /// Criterion's warmup is time-based; the stub maps any non-zero
+    /// duration to one discarded warmup sample per benchmark (zero
+    /// disables warmup entirely).
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_samples = usize::from(!d.is_zero());
+        self
+    }
+
+    /// Runs `f` for `warm_up_samples` discarded executions, then
+    /// `sample_size` timed samples, and prints min/median/mean
+    /// per-iteration duration.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: 0,
-        };
-        for _ in 0..self.sample_size {
-            f(&mut b);
+        for _ in 0..self.warm_up_samples {
+            let mut warm = Bencher::default();
+            f(&mut warm);
         }
-        let mean = if b.iters > 0 {
-            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
-        } else {
-            Duration::ZERO
-        };
-        println!("bench {id:<24} {mean:>12.2?}/iter ({} iters)", b.iters);
+        // One sample = one closure execution; its per-iter mean is the
+        // sample value, so multi-`iter` closures still average correctly.
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            total_iters += b.iters;
+            if b.iters > 0 {
+                samples.push(b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX));
+            }
+        }
+        if samples.is_empty() {
+            println!("bench {id:<24} no iterations");
+            return self;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = median_of(&samples);
+        let mean = samples.iter().sum::<Duration>() / u32::try_from(samples.len()).unwrap_or(1);
+        println!(
+            "bench {id:<24} min {min:>10.2?}  med {median:>10.2?}  mean {mean:>10.2?}  \
+             ({} samples, {total_iters} iters)",
+            samples.len()
+        );
         self
     }
 
@@ -61,15 +95,25 @@ impl Criterion {
     pub fn final_summary(&mut self) {}
 }
 
+/// Midpoint-averaged median of a sorted, non-empty slice.
+fn median_of(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
 /// Times one closure invocation per `iter` call.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
 }
 
 impl Bencher {
-    /// Runs and times `f` once, accumulating into the mean.
+    /// Runs and times `f` once, accumulating into the current sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         let t0 = Instant::now();
         black_box(f());
@@ -111,10 +155,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_accumulates_iters() {
+    fn bencher_runs_warmup_plus_samples() {
         let mut c = Criterion::default().sample_size(3);
         let mut runs = 0;
         c.bench_function("unit", |b| b.iter(|| runs += 1));
-        assert_eq!(runs, 3);
+        // 1 warmup + 3 timed samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn zero_warmup_time_disables_warmup() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::ZERO)
+            .sample_size(2);
+        let mut runs = 0;
+        c.bench_function("unit", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn median_midpoint_averages_even_counts() {
+        let ms = Duration::from_millis;
+        assert_eq!(median_of(&[ms(1), ms(3)]), ms(2));
+        assert_eq!(median_of(&[ms(1), ms(2), ms(9)]), ms(2));
     }
 }

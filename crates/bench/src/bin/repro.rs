@@ -5,8 +5,8 @@
 //!       [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR]
 //!       [--audit] [--strict-audit] [--compare BASELINE.json]
 //!       [--faults PLAN] [--watchdog SECS] [--trace-chrome FILE]
-//!       [--opportunity] [--out FILE] [--repeats N] [--warmup N]
-//!       [--list] [--quiet]
+//!       [--opportunity] [--legacy-loop] [--out FILE] [--repeats N]
+//!       [--warmup N] [--list] [--quiet]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
@@ -53,8 +53,11 @@
 //! history with soft regression flags (twin of `scripts/perf_gate.py`);
 //! `report` assembles `results/report.html` (`--out` overrides) from the
 //! trajectory, attribution CSV, attack-matrix CSV, and epoch streams.
-//! `--opportunity` arms the skip-ahead opportunity counters on manifest
-//! runs (idle scheduler passes, eager timing probes, skip-gap histogram).
+//! `--opportunity` arms the event-core opportunity counters on manifest
+//! runs (idle scheduler passes, skip-gap and skip-taken histograms).
+//! `--legacy-loop` drives simulations with the retired eager per-quantum
+//! loop instead of the next-event core — an escape hatch for bisecting;
+//! the two are bit-identical by contract (`sim/tests/event_core.rs`).
 //!
 //! Exit codes mirror `SimError`: 0 success, 1 usage/comparison failure,
 //! 2 unknown workload, 3 trace parse, 4 config, 5 I/O, 6 watchdog.
@@ -141,8 +144,8 @@ fn usage() -> ExitCode {
         "usage: repro <experiment|all|ablations|PATH.trace> [--smoke|--fast|--full] \
          [--seed N] [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
          [--strict-audit] [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS] \
-         [--trace-chrome FILE] [--opportunity] [--out FILE] [--repeats N] [--warmup N] \
-         [--list] [--quiet]\n\
+         [--trace-chrome FILE] [--opportunity] [--legacy-loop] [--out FILE] [--repeats N] \
+         [--warmup N] [--list] [--quiet]\n\
          experiments: {} {} {} {} {} {} watchdog-demo\n\
          fault plans: {} (tunable as name:key=value,...)",
         ANALYTIC_EXPERIMENTS.join(" "),
@@ -385,6 +388,7 @@ fn main() -> ExitCode {
     let mut watchdog: Option<u64> = None;
     let mut trace_chrome: Option<std::path::PathBuf> = None;
     let mut opportunity = false;
+    let mut legacy_loop = false;
     let mut out: Option<std::path::PathBuf> = None;
     let mut repeats: Option<u64> = None;
     let mut warmup: Option<u64> = None;
@@ -392,6 +396,7 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--opportunity" => opportunity = true,
+            "--legacy-loop" => legacy_loop = true,
             "--out" => match it.next() {
                 Some(p) => out = Some(std::path::PathBuf::from(p)),
                 None => return usage(),
@@ -487,6 +492,7 @@ fn main() -> ExitCode {
     }
     let mut lab = Lab::new(scale);
     lab.opportunity = opportunity;
+    lab.legacy_loop = legacy_loop;
     lab.fault_plan = fault_plan;
     lab.watchdog_wall_secs = watchdog;
     lab.manifest_path = json.clone();

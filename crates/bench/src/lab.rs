@@ -53,6 +53,10 @@ pub struct Lab {
     /// Base path for Chrome trace-event JSON. Each fresh run writes
     /// `<stem>_<label>-<workload>.<ext>` next to it (implies spans).
     pub trace_chrome: Option<std::path::PathBuf>,
+    /// Drive every fresh run with the legacy eager per-quantum loop
+    /// instead of the next-event core (escape hatch; bit-identical by
+    /// contract, see `sim/tests/event_core.rs`).
+    pub legacy_loop: bool,
     /// Where the manifest will be written; a fatal error flushes the
     /// partial document here before exiting.
     pub manifest_path: Option<std::path::PathBuf>,
@@ -78,6 +82,7 @@ impl Lab {
             attribution: false,
             opportunity: false,
             trace_chrome: None,
+            legacy_loop: false,
         }
     }
 
@@ -187,9 +192,10 @@ impl Lab {
     }
 
     /// Distills the run's opportunity counters into the manifest section
-    /// that sizes the next-event skip-ahead rework: how many scheduler
-    /// passes did no work, how much eager `earliest` scanning happened,
-    /// and how far ahead the next pending command usually sat.
+    /// that audits the next-event core: how many scheduler passes still do
+    /// no work (visited windows that held no device event), how far ahead
+    /// the next pending command sat when a pass went idle, and how much
+    /// simulated time the event loop actually skipped.
     fn opportunity_summary(telemetry: &Telemetry) -> Json {
         let passes = telemetry.counter(names::MC_OPP_SCHED_PASSES);
         let idle = telemetry.counter(names::MC_OPP_IDLE_PASSES);
@@ -203,30 +209,33 @@ impl Lab {
                 } else {
                     0.0
                 },
-            )
-            .push(
-                "earliest_probes",
-                telemetry.counter(names::DRAM_OPP_EARLIEST_PROBES),
             );
-        let gap = telemetry
-            .with_recorder(|r| {
-                r.registry
-                    .histogram(names::MC_OPP_SKIP_GAP_NS)
-                    .map(mirza_telemetry::Histogram::summary)
-            })
-            .flatten();
-        match gap {
-            Some(s) => {
-                let mut g = Json::obj();
-                g.push("count", s.count)
-                    .push("p50", s.p50)
-                    .push("p90", s.p90)
-                    .push("p99", s.p99)
-                    .push("max", s.max);
-                o.push("skip_gap_ns", g);
-            }
-            None => {
-                o.push("skip_gap_ns", Json::Null);
+        let hist_summary = |name: &'static str| {
+            telemetry
+                .with_recorder(|r| {
+                    r.registry
+                        .histogram(name)
+                        .map(mirza_telemetry::Histogram::summary)
+                })
+                .flatten()
+        };
+        for (key, name) in [
+            ("skip_gap_ns", names::MC_OPP_SKIP_GAP_NS),
+            ("skip_taken_ns", names::SIM_OPP_SKIP_TAKEN_NS),
+        ] {
+            match hist_summary(name) {
+                Some(s) => {
+                    let mut g = Json::obj();
+                    g.push("count", s.count)
+                        .push("p50", s.p50)
+                        .push("p90", s.p90)
+                        .push("p99", s.p99)
+                        .push("max", s.max);
+                    o.push(key, g);
+                }
+                None => {
+                    o.push(key, Json::Null);
+                }
             }
         }
         o
@@ -344,6 +353,7 @@ impl Lab {
         cfg.audit = self.audit || self.fault_plan.is_some();
         cfg.track_row_acts = self.fault_plan.is_some();
         cfg.watchdog_wall = self.watchdog_wall_secs.map(std::time::Duration::from_secs);
+        cfg.legacy_loop = self.legacy_loop;
         let probing = self.epoch_ps.is_some() || cfg.audit;
         let spanning = self.attribution || self.trace_chrome.is_some();
         let mut telemetry = if self.manifest.is_some() || probing || spanning || self.opportunity {

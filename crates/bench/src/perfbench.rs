@@ -385,30 +385,31 @@ fn opportunity_json(tel: &Telemetry) -> Json {
             } else {
                 0.0
             },
-        )
-        .push(
-            "earliest_probes",
-            tel.counter(names::DRAM_OPP_EARLIEST_PROBES),
         );
-    let gap = tel
-        .with_recorder(|r| {
-            r.registry
-                .histogram(names::MC_OPP_SKIP_GAP_NS)
-                .map(mirza_telemetry::Histogram::summary)
-        })
-        .flatten();
-    match gap {
-        Some(s) => {
-            let mut g = Json::obj();
-            g.push("count", s.count)
-                .push("p50", s.p50)
-                .push("p90", s.p90)
-                .push("p99", s.p99)
-                .push("max", s.max);
-            o.push("skip_gap_ns", g);
-        }
-        None => {
-            o.push("skip_gap_ns", Json::Null);
+    for (key, name) in [
+        ("skip_gap_ns", names::MC_OPP_SKIP_GAP_NS),
+        ("skip_taken_ns", names::SIM_OPP_SKIP_TAKEN_NS),
+    ] {
+        let summary = tel
+            .with_recorder(|r| {
+                r.registry
+                    .histogram(name)
+                    .map(mirza_telemetry::Histogram::summary)
+            })
+            .flatten();
+        match summary {
+            Some(s) => {
+                let mut g = Json::obj();
+                g.push("count", s.count)
+                    .push("p50", s.p50)
+                    .push("p90", s.p90)
+                    .push("p99", s.p99)
+                    .push("max", s.max);
+                o.push(key, g);
+            }
+            None => {
+                o.push(key, Json::Null);
+            }
         }
     }
     o

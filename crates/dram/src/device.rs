@@ -74,12 +74,16 @@ pub struct Subchannel {
     subch_index: u32,
     /// Cached `telemetry.has_spans()` so precharges test one local bool.
     spans: bool,
-    /// Cached `telemetry.has_opportunity()`: counts `earliest` probes.
-    opp: bool,
-    /// Cumulative `earliest` probe count while opportunity counters are
-    /// armed. A `Cell` because `earliest` takes `&self` on the hot path;
-    /// drained into telemetry by the owning controller per pass.
-    earliest_probes: std::cell::Cell<u64>,
+    /// Rolling ACT counter for sampled tracker attribution (see the ACT
+    /// arm of [`Subchannel::issue`]).
+    tracker_tick: u32,
+    /// Number of banks with an open row, maintained incrementally so
+    /// `all_precharged`/`open_banks` are O(1) instead of a bank scan.
+    open_count: usize,
+    /// Cached [`Subchannel::next_interesting_ps`]; `None` after any state
+    /// mutation ([`Subchannel::issue`] or a fault hook). A `Cell` because
+    /// the probe takes `&self`.
+    next_event: std::cell::Cell<Option<Ps>>,
     telemetry: Telemetry,
     /// Independent protocol auditor (shadow checker), when enabled. Boxed:
     /// its per-bank shadow state is only paid for by auditing runs.
@@ -129,8 +133,9 @@ impl Subchannel {
             rowpress_weighting: false,
             subch_index: 0,
             spans: false,
-            opp: false,
-            earliest_probes: std::cell::Cell::new(0),
+            tracker_tick: 0,
+            open_count: 0,
+            next_event: std::cell::Cell::new(None),
             telemetry: Telemetry::disabled(),
             audit: None,
             timing,
@@ -178,7 +183,6 @@ impl Subchannel {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.mitigator.set_telemetry(telemetry.clone());
         self.spans = telemetry.has_spans();
-        self.opp = telemetry.has_opportunity();
         self.telemetry = telemetry;
     }
 
@@ -246,12 +250,12 @@ impl Subchannel {
 
     /// True when every bank is precharged.
     pub fn all_precharged(&self) -> bool {
-        self.banks.iter().all(|b| b.open_row().is_none())
+        self.open_count == 0
     }
 
     /// Number of banks with an open row (bank-level parallelism gauge).
     pub fn open_banks(&self) -> usize {
-        self.banks.iter().filter(|b| b.open_row().is_some()).count()
+        self.open_count
     }
 
     /// Instant the next REF becomes due.
@@ -279,11 +283,13 @@ impl Subchannel {
     /// alert reappears once the mask expires — a delayed raise).
     pub fn mask_alert_until(&mut self, until: Ps) {
         self.alert_masked_until = self.alert_masked_until.max(until);
+        self.next_event.set(None);
     }
 
     /// Fault-injection hook: forwards a state fault to the mitigation
     /// engine; returns whether it changed anything.
     pub fn inject_fault(&mut self, fault: &DeviceFault, now: Ps) -> bool {
+        self.next_event.set(None);
         self.mitigator.inject_fault(fault, now)
     }
 
@@ -293,6 +299,7 @@ impl Subchannel {
     /// honest.
     pub fn skip_refresh_steps(&mut self, steps: u32) {
         self.ref_ptr.skip(steps);
+        self.next_event.set(None);
         if let Some(a) = &mut self.audit {
             a.skip_refresh_steps(steps);
         }
@@ -306,9 +313,6 @@ impl Subchannel {
     /// command is illegal in the current row-buffer state (e.g. ACT to an
     /// open bank, RD to a closed or mismatched row).
     pub fn earliest(&self, cmd: &Command) -> Option<Ps> {
-        if self.opp {
-            self.earliest_probes.set(self.earliest_probes.get() + 1);
-        }
         let t = &self.timing;
         let e = match *cmd {
             Command::Act { bank, .. } => {
@@ -374,10 +378,102 @@ impl Subchannel {
         Some(e.max(self.global_block))
     }
 
-    /// Cumulative [`Subchannel::earliest`] probe count (0 unless
-    /// opportunity counters are armed). Purely observational.
-    pub fn earliest_probes(&self) -> u64 {
-        self.earliest_probes.get()
+    /// The earliest instant strictly after the last issued command at
+    /// which this sub-channel's scheduling picture can change on its own:
+    /// a bank timing constraint releases, the global REF/RFM/ALERT block
+    /// lifts, or the next refresh becomes due.
+    ///
+    /// Contract: between `last_issue_at` and this instant every
+    /// [`Subchannel::earliest`] answer is constant, so a scheduler that
+    /// found nothing issuable before this instant may jump straight to
+    /// it. The value is cached and invalidated by every state mutation
+    /// ([`Subchannel::issue`] and the fault hooks), never recomputed per
+    /// probe.
+    pub fn next_interesting_ps(&self) -> Ps {
+        if let Some(v) = self.next_event.get() {
+            return v;
+        }
+        let after = self.last_issue_at;
+        let mut e = self.next_ref_due;
+        if self.global_block > after {
+            e = e.min(self.global_block);
+        }
+        for b in &self.banks {
+            let t = b.next_interesting_ps();
+            if t > after {
+                e = e.min(t);
+            }
+        }
+        self.next_event.set(Some(e));
+        e
+    }
+
+    /// The open row of bank `flat` (flat index within the sub-channel).
+    pub fn open_row_flat(&self, flat: usize) -> Option<u32> {
+        self.banks[flat].open_row()
+    }
+
+    /// Bank-local ACT release for bank `flat`, *without* the shared rank
+    /// ([`Subchannel::act_floor`]) and global ([`Subchannel::block_floor`])
+    /// floors. `None` while a row is open.
+    pub fn earliest_local_act(&self, flat: usize) -> Option<Ps> {
+        self.banks[flat].earliest_act()
+    }
+
+    /// Bank-local PRE release for bank `flat`, without the global floor.
+    /// `None` when already precharged.
+    pub fn earliest_local_pre(&self, flat: usize) -> Option<Ps> {
+        self.banks[flat].earliest_pre()
+    }
+
+    /// Bank-local RD release for bank `flat`, *without* the shared column
+    /// ([`Subchannel::col_floor`]) and global floors. `None` on row
+    /// mismatch or closed bank.
+    pub fn earliest_local_rd(&self, flat: usize, row: u32) -> Option<Ps> {
+        self.banks[flat].earliest_rd(row)
+    }
+
+    /// Bank-local WR release for bank `flat`, without the shared floors.
+    /// `None` on row mismatch or closed bank.
+    pub fn earliest_local_wr(&self, flat: usize, row: u32) -> Option<Ps> {
+        self.banks[flat].earliest_wr(row)
+    }
+
+    /// Shared ACT floor for `rank`: tRRD from the previous ACT plus tFAW
+    /// over the sliding four-ACT window. `earliest_local_act(flat)` max
+    /// this max [`Subchannel::block_floor`] equals
+    /// [`Subchannel::earliest`] for the ACT.
+    pub fn act_floor(&self, rank: usize) -> Ps {
+        let t = &self.timing;
+        let mut e = Ps::ZERO;
+        if let Some(last) = self.last_act[rank] {
+            e = e.max(last + t.t_rrd);
+        }
+        if self.faw[rank].len() == 4 {
+            e = e.max(self.faw[rank][0] + t.t_faw);
+        }
+        e
+    }
+
+    /// Shared column floor for a RD (`write == false`) or WR (`write ==
+    /// true`): channel-level tCCD plus data-bus availability including
+    /// the direction-turnaround bubble. `earliest_local_rd/_wr` max this
+    /// max [`Subchannel::block_floor`] equals [`Subchannel::earliest`]
+    /// for the column command.
+    pub fn col_floor(&self, write: bool) -> Ps {
+        let t = &self.timing;
+        let bus_ready = if self.last_burst_was_write == write {
+            self.bus_free
+        } else {
+            self.bus_free + t.t_ck * 2
+        };
+        let lat = if write { t.cwl } else { t.cl };
+        self.next_col_cmd.max(bus_ready.saturating_sub(lat))
+    }
+
+    /// The global REF/RFM/ALERT blocking floor applied to every command.
+    pub fn block_floor(&self) -> Ps {
+        self.global_block
     }
 
     /// Commits `cmd` at instant `now`.
@@ -414,6 +510,7 @@ impl Subchannel {
                 let rank = bank.rank as usize;
                 let flat = self.flat(bank);
                 self.banks[flat].issue_act(row, now, &t);
+                self.open_count += 1;
                 self.last_act[rank] = Some(now);
                 self.faw[rank].push_back(now);
                 if self.faw[rank].len() > 4 {
@@ -424,9 +521,21 @@ impl Subchannel {
                 let phys = self.metrics_mapping.phys_of(row);
                 let sa = (phys / self.metrics_mapping.rows_per_subarray()) as usize;
                 self.act_hist[flat * self.geom.subarrays_per_bank as usize + sa] += 1;
-                let p = self.telemetry.profile_start();
+                // ACT is the highest-frequency mitigator hook: timing every
+                // call costs two vDSO clock reads apiece, visible in whole-
+                // run profiles. Sample 1-in-16 and scale the measurement
+                // back up — the Tracker phase total stays statistically
+                // right at a sixteenth of the cost.
+                const TRACKER_SAMPLE: u32 = 16;
+                self.tracker_tick = self.tracker_tick.wrapping_add(1);
+                let p = if self.tracker_tick.is_multiple_of(TRACKER_SAMPLE) {
+                    self.telemetry.profile_start()
+                } else {
+                    None
+                };
                 self.mitigator.on_activate(flat, row, now);
-                self.telemetry.profile_end(Phase::Tracker, p);
+                self.telemetry
+                    .profile_end_scaled(Phase::Tracker, p, TRACKER_SAMPLE);
                 Issued {
                     data_ready: None,
                     busy_until: None,
@@ -437,6 +546,7 @@ impl Subchannel {
                 let row = self.banks[flat].open_row().expect("PRE closes a row");
                 let opened_at = self.banks[flat].last_act_at();
                 self.banks[flat].issue_pre(now, &t);
+                self.open_count -= 1;
                 self.stats.pres += 1;
                 self.charge_rowpress(flat, row, opened_at, now);
                 if self.spans {
@@ -464,6 +574,7 @@ impl Subchannel {
                         closed.push((flat, row, opened_at));
                     }
                 }
+                self.open_count -= closed.len();
                 for (flat, row, opened_at) in closed {
                     self.charge_rowpress(flat, row, opened_at, now);
                     if self.spans {
@@ -557,6 +668,7 @@ impl Subchannel {
                 }
             }
         };
+        self.next_event.set(None);
         // ALERT asserting exactly at this command opens the ABO window the
         // auditor polices (the MC samples the line at the same instant).
         if auditing && !was_asserted && self.alert_asserted() {
@@ -819,5 +931,113 @@ mod tests {
             Ps::ZERO,
         );
         assert!(!sc.alert_asserted());
+    }
+
+    #[test]
+    fn open_count_tracks_row_state() {
+        let mut sc = sc();
+        assert!(sc.all_precharged());
+        for i in 0..3 {
+            let cmd = Command::Act {
+                bank: bank(i),
+                row: 1,
+            };
+            let e = sc.earliest(&cmd).unwrap();
+            sc.issue(cmd, e);
+        }
+        assert_eq!(sc.open_banks(), 3);
+        let pre = Command::Pre { bank: bank(0) };
+        let e = sc.earliest(&pre).unwrap();
+        sc.issue(pre, e);
+        assert_eq!(sc.open_banks(), 2);
+        let e = sc.earliest(&Command::PreAll).unwrap();
+        sc.issue(Command::PreAll, e);
+        assert_eq!(sc.open_banks(), 0);
+        assert!(sc.all_precharged());
+    }
+
+    #[test]
+    fn next_interesting_caches_and_invalidates_on_issue() {
+        let mut sc = sc();
+        let t = sc.timing().clone();
+        // Fresh device: every bank is released at 0 (not after
+        // last_issue_at), so the next self-driven edge is the refresh.
+        assert_eq!(sc.next_interesting_ps(), t.t_refi);
+        sc.issue(
+            Command::Act {
+                bank: bank(0),
+                row: 1,
+            },
+            Ps::ZERO,
+        );
+        // The open bank's RD/WR release at tRCD now precedes the refresh,
+        // and the cached value was dropped by the issue.
+        assert_eq!(sc.next_interesting_ps(), t.t_rcd);
+        // Cached probe repeats the same answer.
+        assert_eq!(sc.next_interesting_ps(), t.t_rcd);
+        // A REF blocks everything for tRFC; the lifted block is the edge.
+        let e = sc.earliest(&Command::PreAll).unwrap();
+        sc.issue(Command::PreAll, e);
+        let e = sc.earliest(&Command::Ref).unwrap();
+        sc.issue(Command::Ref, e);
+        assert_eq!(sc.next_interesting_ps(), e + t.t_rfc);
+    }
+
+    #[test]
+    fn local_accessors_plus_floors_reproduce_earliest() {
+        let mut sc = sc();
+        let mut now = Ps::ZERO;
+        // Build up shared state: 4 ACTs (arms tFAW) and a read (arms the
+        // bus/column floors).
+        for i in 0..4 {
+            let cmd = Command::Act {
+                bank: bank(i),
+                row: 1,
+            };
+            now = sc.earliest(&cmd).unwrap().max(now);
+            sc.issue(cmd, now);
+        }
+        let rd = Command::Rd {
+            bank: bank(0),
+            col: 0,
+        };
+        let e = sc.earliest(&rd).unwrap().max(now);
+        sc.issue(rd, e);
+
+        let block = sc.block_floor();
+        // ACT decomposition (bank 4 is closed; rank 0).
+        let act = Command::Act {
+            bank: bank(4),
+            row: 1,
+        };
+        let composed = sc
+            .earliest_local_act(4)
+            .map(|l| l.max(sc.act_floor(0)).max(block));
+        assert_eq!(composed, sc.earliest(&act));
+        // RD/WR decomposition on the open bank 1.
+        let row = sc.open_row_flat(1).unwrap();
+        let composed = sc
+            .earliest_local_rd(1, row)
+            .map(|l| l.max(sc.col_floor(false)).max(block));
+        assert_eq!(
+            composed,
+            sc.earliest(&Command::Rd {
+                bank: bank(1),
+                col: 0
+            })
+        );
+        let composed = sc
+            .earliest_local_wr(1, row)
+            .map(|l| l.max(sc.col_floor(true)).max(block));
+        assert_eq!(
+            composed,
+            sc.earliest(&Command::Wr {
+                bank: bank(1),
+                col: 0
+            })
+        );
+        // PRE decomposition.
+        let composed = sc.earliest_local_pre(1).map(|l| l.max(block));
+        assert_eq!(composed, sc.earliest(&Command::Pre { bank: bank(1) }));
     }
 }

@@ -1,0 +1,114 @@
+//! A fast, deterministic, non-cryptographic hasher for simulator-internal
+//! maps (page tables, in-flight token ownership). These maps are only ever
+//! probed point-wise — nothing observes iteration order — so swapping the
+//! default SipHash for a multiply-rotate hash changes wall clock, not one
+//! emitted byte. The constant is the same golden-ratio multiplier rustc's
+//! own FxHash uses; the implementation here is independent and dependency
+//! free (this workspace builds offline).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher: a few cycles per word against SipHash's dozens.
+/// Not DoS-resistant — only use for maps keyed by simulator-generated
+/// values (tokens, page numbers), never attacker-controlled input.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`] — stateless, so every map built
+/// from it hashes identically across runs (unlike `RandomState`).
+#[derive(Debug, Default, Clone)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// `HashMap` with the fast deterministic hasher; construct with
+/// `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHashMap::default();
+        let mut b = FxHashMap::default();
+        for i in 0..1000u64 {
+            a.insert((i as u32, i * 7), i);
+            b.insert((i as u32, i * 7), i);
+        }
+        assert_eq!(a.len(), 1000);
+        for (k, v) in &a {
+            assert_eq!(b.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn mixed_width_writes_cover_the_tail_path() {
+        use std::hash::Hash;
+        let mut h = FxHasher::default();
+        (3u32, 9u64).hash(&mut h);
+        let x = h.finish();
+        let mut h2 = FxHasher::default();
+        (3u32, 9u64).hash(&mut h2);
+        assert_eq!(x, h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(b"abcdefghijk"); // 8-byte chunk + 3-byte remainder
+        assert_ne!(h3.finish(), 0);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod cache;
 pub mod core;
 pub mod error;
+pub mod hash;
 pub mod paging;
 pub mod trace;
 

@@ -5,7 +5,7 @@
 //! the address spaces of the eight rate-mode cores interleave naturally in
 //! physical memory — the property that spreads benign ACTs over subarrays.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 /// Page size used throughout (4 KB).
 pub const PAGE_BYTES: u64 = 4096;
@@ -15,8 +15,19 @@ pub const PAGE_BYTES: u64 = 4096;
 pub struct PageAllocator {
     total_frames: u64,
     next_frame: u64,
-    map: HashMap<(u32, u64), u64>,
+    // Touched on every memory access; the fast deterministic hasher keeps
+    // translation off the profile (lookup order is never observed).
+    map: FxHashMap<(u32, u64), u64>,
+    // Small direct-mapped translation cache per core — `TLB_WAYS` slots of
+    // (vpn, frame), indexed by the vpn's low bits, vpn = u64::MAX when
+    // empty. Purely a lookup shortcut over `map`, so translations are
+    // unchanged. Sized to catch both streaming reuse and the hot head of
+    // Zipf-distributed traffic, which a single entry cannot.
+    tlb: Vec<[(u64, u64); TLB_WAYS]>,
 }
+
+/// Per-core translation-cache slots (power of two; index = low vpn bits).
+const TLB_WAYS: usize = 64;
 
 impl PageAllocator {
     /// Creates an allocator over `capacity_bytes` of physical memory.
@@ -28,7 +39,8 @@ impl PageAllocator {
         PageAllocator {
             total_frames: capacity_bytes / PAGE_BYTES,
             next_frame: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
+            tlb: Vec::new(),
         }
     }
 
@@ -50,6 +62,14 @@ impl PageAllocator {
     /// paper's workloads fit comfortably in 32 GB).
     pub fn translate(&mut self, core: u32, vaddr: u64) -> u64 {
         let vpn = vaddr / PAGE_BYTES;
+        let slot = core as usize;
+        let way = (vpn as usize) & (TLB_WAYS - 1);
+        if let Some(set) = self.tlb.get(slot) {
+            let (cached_vpn, frame) = set[way];
+            if cached_vpn == vpn {
+                return frame * PAGE_BYTES + (vaddr % PAGE_BYTES);
+            }
+        }
         let frames = self.total_frames;
         let next = &mut self.next_frame;
         let frame = *self.map.entry((core, vpn)).or_insert_with(|| {
@@ -61,6 +81,10 @@ impl PageAllocator {
             *next += 1;
             f
         });
+        if slot >= self.tlb.len() {
+            self.tlb.resize(slot + 1, [(u64::MAX, 0); TLB_WAYS]);
+        }
+        self.tlb[slot][way] = (vpn, frame);
         frame * PAGE_BYTES + (vaddr % PAGE_BYTES)
     }
 }

@@ -36,13 +36,105 @@ struct Queued {
     own_cmd_at: Option<Ps>,
 }
 
-/// Candidate command with its scheduling class (lower = higher priority).
+/// Winning demand command with its earliest legal instant. The scheduling
+/// class and arrival that decided the FR-FCFS tie-break live in
+/// [`ScanEntry`] and are consumed inside the scan; only the materialized
+/// command survives.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     cmd: Command,
     at: Ps,
+}
+
+/// Candidate kind codes for the scan mirror (`MemController::entries`):
+/// the scan hot loop reads these packed entries instead of matching on
+/// [`BankPlan`].
+const KIND_RD: u8 = 0;
+const KIND_WR: u8 = 1;
+const KIND_ACT: u8 = 2;
+const KIND_CONFLICT: u8 = 3;
+const KIND_SOFTCLOSE: u8 = 4;
+const KIND_IDLE: u8 = 5;
+const KIND_STALE: u8 = 6;
+
+/// One bank's scan-loop state, packed so a visit touches a single array
+/// slot: candidate kind (`KIND_*`, with staleness folded in), scheduling
+/// class (column > activate > precharge > soft close), the floor-free key
+/// `max(local, arrival)`, and the arrival tie-break. The selection `at`
+/// is `key.max(per-class shared floor)`, because
+/// `max(local, floor, block, arrival, now)` factors into
+/// `max(max(local, arrival), max(floor, block, now))`.
+#[derive(Debug, Clone, Copy)]
+struct ScanEntry {
+    kind: u8,
     class: u8,
-    arrival: Ps,
+    key: Ps,
+    arr: Ps,
+    /// The floor-free candidate pre-packed at refresh time:
+    /// `pack_cand(key, class, arr, flat)` (`u128::MAX` when no candidate).
+    /// A scan visit folds the per-class floor in with one AND/OR/`max`
+    /// instead of re-packing, since entries are visited many times per
+    /// refresh.
+    packed: u128,
+}
+
+const STALE_ENTRY: ScanEntry = ScanEntry {
+    kind: KIND_STALE,
+    class: u8::MAX,
+    key: Ps::MAX,
+    arr: Ps::MAX,
+    packed: u128::MAX,
+};
+
+/// Packed scan-candidate layout: `[at:48 | class:8 | arr:48 | flat:8]`.
+/// Ordering a candidate by this u128 is exactly the FR-FCFS selection rule
+/// — `(at, class, arrival)` strict `<` with the lowest flat index winning
+/// ties (the bank a full ascending scan would visit first). 48 bits hold
+/// any real instant (2^48 ps ≈ 78 h of simulated time); arrivals saturate
+/// so the SoftClose `Ps::MAX` sentinel still compares above every real one.
+const PACK_MASK48: u64 = (1 << 48) - 1;
+const PACK_ARR: u32 = 8;
+const PACK_CLASS: u32 = 8 + 48;
+const PACK_AT: u32 = 8 + 48 + 8;
+/// Everything below the `at` field: `[class | arr | flat]`.
+const PACK_LOW_MASK: u128 = (1u128 << PACK_AT) - 1;
+
+#[inline]
+fn pack_cand(at: Ps, class: u8, arr: Ps, flat: usize) -> u128 {
+    debug_assert!(at.as_ps() <= PACK_MASK48, "instant exceeds 48-bit pack");
+    debug_assert!(flat <= 0xff, "flat bank index exceeds 8-bit pack");
+    (u128::from(at.as_ps()) << PACK_AT)
+        | (u128::from(class) << PACK_CLASS)
+        | (u128::from(arr.as_ps().min(PACK_MASK48)) << PACK_ARR)
+        | flat as u128
+}
+
+/// Cached per-bank scheduling plan: what this bank's queue wants next,
+/// with the *bank-local* release instant. The shared floors — rank ACT
+/// window ([`Subchannel::act_floor`]), column/bus
+/// ([`Subchannel::col_floor`]), global block and `now` — are applied at
+/// selection time, so a plan only goes `Stale` when the bank itself is
+/// mutated (a command issued to it, a request enqueued on it, or a
+/// blocking command touching every bank). Staleness lives in the
+/// [`ScanEntry`] kind, not here: a `KIND_STALE` entry means this plan is
+/// out of date and `refresh_plan` must run before it is read.
+#[derive(Debug, Clone, Copy)]
+enum BankPlan {
+    /// Empty queue, bank precharged: nothing to do.
+    Idle,
+    /// Empty queue, row open: soft close-page PRE (class 3).
+    SoftClose { local: Ps },
+    /// Row hit waiting in the queue (class 0).
+    Hit {
+        local: Ps,
+        col: u32,
+        write: bool,
+        arrival: Ps,
+    },
+    /// Row conflict: PRE on behalf of the oldest request (class 2).
+    Conflict { local: Ps, arrival: Ps },
+    /// Bank closed: ACT for the oldest request (class 1).
+    Act { local: Ps, row: u32, arrival: Ps },
 }
 
 /// Memory controller driving one [`Subchannel`].
@@ -55,6 +147,43 @@ pub struct MemController {
     cfg: McConfig,
     subch: u32,
     queues: Vec<VecDeque<Queued>>,
+    /// Per-bank plan cache, flat-indexed alongside `queues` — the hot
+    /// state the scheduler scans instead of re-deriving every bank's
+    /// candidate per pick.
+    plans: Vec<BankPlan>,
+    /// Bitmask words over `plans`: a set bit means the bank may hold a
+    /// candidate (plan `Stale` or non-`Idle`). The scan walks set bits in
+    /// ascending flat order — identical visit order to the full loop — and
+    /// clears a bit when a refresh lands on `Idle`, so a quiet bank costs
+    /// nothing until an enqueue or an all-bank command re-arms it.
+    active: Vec<u64>,
+    /// Scan mirror of `plans` for the hot loop, one slot per bank (see
+    /// [`ScanEntry`]). Maintained by `refresh_plan`; staling a bank only
+    /// writes the entry's kind.
+    entries: Vec<ScanEntry>,
+    /// Per-rank shared ACT floor (already folded with the global floor),
+    /// recomputed once per scan instead of once per closed bank.
+    act_floor_buf: Vec<Ps>,
+    /// `geometry().banks`, cached for the flat-index → rank division.
+    banks_per_rank: usize,
+    /// Banks whose activation counter has crossed `cfg.rfm_bat` since the
+    /// last proactive RFM — the O(1) stand-in for scanning `raa`.
+    raa_armed: u32,
+    /// Outstanding requests across all bank queues (see
+    /// [`MemController::pending_requests`]).
+    pending: usize,
+    /// The already-computed next command and its instant, carried across
+    /// [`MemController::run_until`] calls. Valid until a command issues,
+    /// a fault hook fires, or an arriving request *wins* the incremental
+    /// re-check in [`MemController::enqueue`] — losing arrivals keep it.
+    cached_next: Option<(Command, Ps)>,
+    /// The packed winning scan candidate (see [`pack_cand`]) behind
+    /// `cached_next` when it came from the demand arm (`None` for
+    /// ALERT/RFM/refresh commands). Lets `enqueue` compare a new request's
+    /// candidate against the cached winner exactly instead of always
+    /// rescanning: floors and `now` only move on issue, and issue drops
+    /// the cache anyway.
+    cached_demand: Option<u128>,
     /// Per-bank activation counters for proactive RFM (reset on RFM).
     raa: Vec<u32>,
     now: Ps,
@@ -87,11 +216,21 @@ impl MemController {
     /// Creates a controller for sub-channel index `subch` of the channel.
     pub fn new(mut device: Subchannel, cfg: McConfig, subch: u32) -> Self {
         let nbanks = device.geometry().banks_per_subchannel() as usize;
+        let ranks = device.geometry().ranks as usize;
         device.set_subch_index(subch);
-        MemController {
+        let mut mc = MemController {
             cfg,
             subch,
             queues: vec![VecDeque::new(); nbanks],
+            plans: vec![BankPlan::Idle; nbanks],
+            active: vec![0; nbanks.div_ceil(64)],
+            entries: vec![STALE_ENTRY; nbanks],
+            act_floor_buf: vec![Ps::ZERO; ranks],
+            banks_per_rank: 0,
+            raa_armed: 0,
+            pending: 0,
+            cached_next: None,
+            cached_demand: None,
             raa: vec![0; nbanks],
             now: Ps::ZERO,
             alert_observed_at: None,
@@ -101,6 +240,29 @@ impl MemController {
             opp: false,
             hit_run: 0,
             device,
+        };
+        mc.banks_per_rank = mc.device.geometry().banks as usize;
+        mc.set_all_active();
+        mc
+    }
+
+    #[inline]
+    fn set_active(&mut self, flat: usize) {
+        self.active[flat >> 6] |= 1 << (flat & 63);
+    }
+
+    /// Marks bank `flat`'s plan out of date and re-arms its scan bit.
+    #[inline]
+    fn stale_bank(&mut self, flat: usize) {
+        self.entries[flat].kind = KIND_STALE;
+        self.set_active(flat);
+    }
+
+    fn set_all_active(&mut self) {
+        let n = self.plans.len();
+        for (w, word) in self.active.iter_mut().enumerate() {
+            let bits = n.saturating_sub(w * 64).min(64);
+            *word = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
         }
     }
 
@@ -129,18 +291,21 @@ impl MemController {
     /// Fault-injection hook: forwards a state fault to the device's
     /// mitigation engine, returning whether it changed anything.
     pub fn inject_device_fault(&mut self, fault: &DeviceFault, now: Ps) -> bool {
+        self.cached_next = None;
         self.device.inject_fault(fault, now)
     }
 
     /// Fault-injection hook: suppresses the device's ALERT assertion until
     /// device time reaches `until` (a dropped/delayed raise).
     pub fn mask_alert_until(&mut self, until: Ps) {
+        self.cached_next = None;
         self.device.mask_alert_until(until);
     }
 
     /// Fault-injection hook: jumps the device's refresh pointer forward by
     /// `steps` REF slots without refreshing the skipped rows.
     pub fn skip_refresh_steps(&mut self, steps: u32) {
+        self.cached_next = None;
         self.device.skip_refresh_steps(steps);
     }
 
@@ -154,9 +319,12 @@ impl MemController {
         self.now
     }
 
-    /// Outstanding requests across all bank queues.
+    /// Outstanding requests across all bank queues (running counter; the
+    /// queue-occupancy histogram samples this on every arrival, so summing
+    /// the per-bank queue lengths each time would be O(banks) on a hot
+    /// path).
     pub fn pending_requests(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.pending
     }
 
     /// Enqueues a request.
@@ -175,6 +343,22 @@ impl MemController {
             needed_pre: false,
             own_cmd_at: None,
         });
+        self.pending += 1;
+        if self.cached_next.is_some() {
+            // Floors and `now` are untouched since the cached peek (issuing
+            // clears the cache), so this arrival can only change the next
+            // action through its own bank's candidate. Re-plan just that
+            // bank and keep the cache when the fresh candidate loses — the
+            // common case, and what turns the post-arrival re-peek from a
+            // full bank scan into O(1).
+            let e = self.refresh_plan(flat);
+            self.set_active(flat);
+            if !self.cache_survives_arrival(flat, e) {
+                self.cached_next = None;
+            }
+        } else {
+            self.stale_bank(flat);
+        }
         if self.telemetry.is_enabled() {
             self.telemetry
                 .observe(names::MC_QUEUE_OCCUPANCY, self.pending_requests() as u64);
@@ -186,91 +370,244 @@ impl MemController {
         BankId::new(self.subch, flat as u32 / g.banks, flat as u32 % g.banks)
     }
 
-    /// Picks the best demand-side candidate (column > activate > precharge,
-    /// earliest issue time first, oldest request breaking ties).
-    fn best_demand(&self) -> Option<Candidate> {
-        let mut best: Option<Candidate> = None;
-        let mut consider = |c: Candidate| {
-            let better = match &best {
-                None => true,
-                Some(b) => (c.at, c.class, c.arrival) < (b.at, b.class, b.arrival),
+    /// Recomputes the plan for bank `flat` from its queue and row state.
+    /// Mirrors the legacy FR-FCFS walk, but stores only the bank-local
+    /// release: the shared floors are layered on in `best_demand`.
+    fn bank_plan(&self, flat: usize) -> BankPlan {
+        let q = &self.queues[flat];
+        let open = self.device.open_row_flat(flat);
+        if q.is_empty() {
+            // Soft close-page: close an idle open row once tRAS allows.
+            return match open {
+                Some(_) => BankPlan::SoftClose {
+                    local: self.device.earliest_local_pre(flat).expect("row open"),
+                },
+                None => BankPlan::Idle,
             };
-            if better {
-                best = Some(c);
-            }
-        };
-        for (flat, q) in self.queues.iter().enumerate() {
-            let bank = self.bank_id(flat);
-            let open = self.device.open_row(bank);
-            if q.is_empty() {
-                // Soft close-page: close an idle open row once tRAS allows.
-                if open.is_some() {
-                    if let Some(e) = self.device.earliest(&Command::Pre { bank }) {
-                        consider(Candidate {
-                            cmd: Command::Pre { bank },
-                            at: e.max(self.now),
-                            class: 3,
-                            arrival: Ps::MAX,
-                        });
-                    }
+        }
+        if let Some(row) = open {
+            // Row hits anywhere in the queue are served first (FR-FCFS).
+            if let Some(hit) = q.iter().find(|x| x.req.addr.row == row) {
+                let write = matches!(hit.req.kind, AccessKind::Write);
+                let local = if write {
+                    self.device.earliest_local_wr(flat, row)
+                } else {
+                    self.device.earliest_local_rd(flat, row)
                 }
-                continue;
-            }
-            if let Some(row) = open {
-                // Row hits anywhere in the queue are served first (FR-FCFS).
-                if let Some(hit) = q.iter().find(|x| x.req.addr.row == row) {
-                    let cmd = match hit.req.kind {
-                        AccessKind::Read => Command::Rd {
-                            bank,
-                            col: hit.req.addr.col,
-                        },
-                        AccessKind::Write => Command::Wr {
-                            bank,
-                            col: hit.req.addr.col,
-                        },
-                    };
-                    if let Some(e) = self.device.earliest(&cmd) {
-                        consider(Candidate {
-                            cmd,
-                            at: e.max(hit.req.arrival).max(self.now),
-                            class: 0,
-                            arrival: hit.req.arrival,
-                        });
-                    }
-                    continue;
-                }
-                // Conflict: close the open row for the oldest request.
-                let head = &q[0];
-                if let Some(e) = self.device.earliest(&Command::Pre { bank }) {
-                    consider(Candidate {
-                        cmd: Command::Pre { bank },
-                        at: e.max(head.req.arrival).max(self.now),
-                        class: 2,
-                        arrival: head.req.arrival,
-                    });
-                }
-            } else {
-                // Bank closed: activate for the oldest request.
-                let head = &q[0];
-                let cmd = Command::Act {
-                    bank,
-                    row: head.req.addr.row,
+                .expect("open row matches hit");
+                return BankPlan::Hit {
+                    local,
+                    col: hit.req.addr.col,
+                    write,
+                    arrival: hit.req.arrival,
                 };
-                if let Some(e) = self.device.earliest(&cmd) {
-                    consider(Candidate {
-                        cmd,
-                        at: e.max(head.req.arrival).max(self.now),
-                        class: 1,
-                        arrival: head.req.arrival,
-                    });
-                }
+            }
+            // Conflict: close the open row for the oldest request.
+            BankPlan::Conflict {
+                local: self.device.earliest_local_pre(flat).expect("row open"),
+                arrival: q[0].req.arrival,
+            }
+        } else {
+            // Bank closed: activate for the oldest request.
+            BankPlan::Act {
+                local: self.device.earliest_local_act(flat).expect("bank closed"),
+                row: q[0].req.addr.row,
+                arrival: q[0].req.arrival,
             }
         }
-        best
+    }
+
+    /// Refreshes the plan *and* its structure-of-arrays scan mirror for
+    /// bank `flat`. The key stores `max(local, arrival)` — the selection
+    /// `at` is then a single `max` against the per-class shared floor,
+    /// because `max(local, floor, block, arrival, now)` factors into
+    /// `max(max(local, arrival), max(floor, block, now))`.
+    #[inline]
+    fn refresh_plan(&mut self, flat: usize) -> ScanEntry {
+        let p = self.bank_plan(flat);
+        self.plans[flat] = p;
+        let (kind, class, key, arr) = match p {
+            BankPlan::Idle => (KIND_IDLE, u8::MAX, Ps::MAX, Ps::MAX),
+            BankPlan::SoftClose { local } => (KIND_SOFTCLOSE, 3, local, Ps::MAX),
+            BankPlan::Hit {
+                local,
+                write,
+                arrival,
+                ..
+            } => (
+                if write { KIND_WR } else { KIND_RD },
+                0,
+                local.max(arrival),
+                arrival,
+            ),
+            BankPlan::Conflict { local, arrival } => {
+                (KIND_CONFLICT, 2, local.max(arrival), arrival)
+            }
+            BankPlan::Act { local, arrival, .. } => (KIND_ACT, 1, local.max(arrival), arrival),
+        };
+        let packed = if kind == KIND_IDLE {
+            u128::MAX
+        } else {
+            pack_cand(key, class, arr, flat)
+        };
+        let e = ScanEntry {
+            kind,
+            class,
+            key,
+            arr,
+            packed,
+        };
+        self.entries[flat] = e;
+        e
+    }
+
+    /// Picks the best demand-side candidate (column > activate > precharge,
+    /// earliest issue time first, oldest request breaking ties) from the
+    /// per-bank plan cache, visiting only banks whose `active` bit is set
+    /// and refreshing only banks whose state changed since the last pick.
+    /// The winning [`Command`] is materialized once, after the scan.
+    fn best_demand(&mut self) -> Option<Candidate> {
+        // Per-class floors with the global block floor and `now` folded in,
+        // indexed by kind (masked, so the lookup is provably in bounds).
+        // With a single rank the shared ACT floor is uniform and lives in
+        // the same table; multi-rank devices take the per-rank branch.
+        let base = self.device.block_floor().max(self.now);
+        for (r, f) in self.act_floor_buf.iter_mut().enumerate() {
+            *f = self.device.act_floor(r).max(base);
+        }
+        let single_rank = self.act_floor_buf.len() == 1;
+        let floors = [
+            self.device.col_floor(false).max(base),
+            self.device.col_floor(true).max(base),
+            if single_rank {
+                self.act_floor_buf[0]
+            } else {
+                Ps::MAX
+            },
+            base,
+            base,
+            Ps::MAX,
+            Ps::MAX,
+            Ps::MAX,
+        ];
+        // Winner fold, branchless: candidates are pre-packed at refresh
+        // time (see [`ScanEntry::packed`]), so a visit folds the floor in
+        // with `max(packed, floor<<AT | low)` — identical to re-packing
+        // `max(key, floor)`, since the low bits match — and the selection
+        // rule is then a plain u128 `min`, which compiles to compare+cmov
+        // instead of the data-dependent branch chain a tuple compare
+        // produces; the branches of a min-reduction are inherently
+        // unpredictable.
+        let floors_packed = floors.map(|f| u128::from(f.as_ps().min(PACK_MASK48)) << PACK_AT);
+        let mut best: u128 = u128::MAX;
+        for w in 0..self.active.len() {
+            let mut word = self.active[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let flat = (w << 6) | bit;
+                let mut e = self.entries[flat];
+                if e.kind >= KIND_IDLE {
+                    if e.kind == KIND_STALE {
+                        e = self.refresh_plan(flat);
+                    }
+                    if e.kind >= KIND_IDLE {
+                        self.active[w] &= !(1u64 << bit);
+                        continue;
+                    }
+                }
+                let floor = if single_rank || e.kind != KIND_ACT {
+                    floors_packed[(e.kind & 7) as usize]
+                } else {
+                    u128::from(self.act_floor_buf[flat / self.banks_per_rank].as_ps()) << PACK_AT
+                };
+                let cand = e.packed.max(floor | (e.packed & PACK_LOW_MASK));
+                best = best.min(cand);
+            }
+        }
+        if best == u128::MAX {
+            return None;
+        }
+        self.cached_demand = Some(best);
+        let best_at = Ps::from_ps((best >> PACK_AT) as u64);
+        let flat = (best & 0xff) as usize;
+        let cmd = match self.plans[flat] {
+            BankPlan::SoftClose { .. } | BankPlan::Conflict { .. } => Command::Pre {
+                bank: self.bank_id(flat),
+            },
+            BankPlan::Hit { col, write, .. } => {
+                let bank = self.bank_id(flat);
+                if write {
+                    Command::Wr { bank, col }
+                } else {
+                    Command::Rd { bank, col }
+                }
+            }
+            BankPlan::Act { row, .. } => Command::Act {
+                bank: self.bank_id(flat),
+                row,
+            },
+            BankPlan::Idle => unreachable!("winner holds a candidate"),
+        };
+        Some(Candidate { cmd, at: best_at })
+    }
+
+    /// Whether `cached_next` still names the controller's next action after
+    /// a request arrived on bank `flat` with fresh scan entry `e`.
+    ///
+    /// Exactness argument: between the cached peek and this arrival no
+    /// command issued (issue drops the cache), so `now`, every shared
+    /// floor, the ALERT latch and the RAA counters are all unchanged — a
+    /// full re-peek would differ from the cached one only in bank `flat`'s
+    /// candidate. It therefore suffices to rebuild that single candidate
+    /// and replay the two decisions it could flip: the FR-FCFS winner
+    /// comparison (same `(at, class, arrival)` tuple with the ascending-
+    /// flat tie-break) and the demand-before-refresh deadline check.
+    fn cache_survives_arrival(&mut self, flat: usize, e: ScanEntry) -> bool {
+        // ALERT and proactive-RFM arms outrank demand entirely: no arrival
+        // can preempt them, and the arrival does not change their state.
+        if self.alert_observed_at.is_some() {
+            return true;
+        }
+        if let Some(bat) = self.cfg.rfm_bat {
+            if bat == 0 || self.raa_armed > 0 {
+                return true;
+            }
+        }
+        // A bank with a queued request always yields a demand candidate.
+        debug_assert!(e.kind <= KIND_CONFLICT, "arrival must plan a command");
+        let base = self.device.block_floor().max(self.now);
+        let floor = match e.kind {
+            KIND_RD => self.device.col_floor(false).max(base),
+            KIND_WR => self.device.col_floor(true).max(base),
+            KIND_ACT => self.device.act_floor(flat / self.banks_per_rank).max(base),
+            _ => base,
+        };
+        let at = e.key.max(floor);
+        match self.cached_demand {
+            // Cached demand command: survives unless the arrival lands on
+            // the winning bank itself (its plan may have changed) or the
+            // fresh candidate beats the cached one under the packed
+            // selection order.
+            Some(winner) => {
+                (winner & 0xff) as usize != flat && winner <= pack_cand(at, e.class, e.arr, flat)
+            }
+            // Cached refresh path (PreAll/Ref): demand preempts it only
+            // strictly before the postponement deadline.
+            None => {
+                let deadline = self.device.next_ref_due().max(self.now)
+                    + self.device.timing().t_refi * u64::from(self.cfg.postpone_refs);
+                at >= deadline
+            }
+        }
     }
 
     /// The next command the controller wants to issue, with its instant.
-    fn next_action(&self) -> Option<(Command, Ps)> {
+    fn next_action(&mut self) -> Option<(Command, Ps)> {
+        // Rewritten by `best_demand` when the demand arm wins; every other
+        // arm leaves it cleared so `enqueue`'s re-check takes the
+        // refresh-preemption branch.
+        self.cached_demand = None;
         let t = self.device.timing();
         // 1. ALERT back-off has absolute priority.
         if let Some(t0) = self.alert_observed_at {
@@ -287,7 +624,7 @@ impl MemController {
         }
         // 2. Proactive RFM when a bank's activation counter reaches BAT.
         if let Some(bat) = self.cfg.rfm_bat {
-            if self.raa.iter().any(|&c| c >= bat) {
+            if bat == 0 || self.raa_armed > 0 {
                 if !self.device.all_precharged() {
                     let e = self.device.earliest(&Command::PreAll)?;
                     return Some((Command::PreAll, e.max(self.now)));
@@ -308,6 +645,7 @@ impl MemController {
                 return Some((c.cmd, c.at));
             }
         }
+        self.cached_demand = None;
         let ref_at = self.device.next_ref_due().max(self.now);
         // 4. Refresh path: precharge everything, then REF on time.
         if self.device.all_precharged() {
@@ -317,6 +655,34 @@ impl MemController {
             let e = self.device.earliest(&Command::PreAll)?;
             Some((Command::PreAll, e.max(self.now)))
         }
+    }
+
+    /// The next command and its instant, computed at most once per state
+    /// change: the cache survives across `run_until` calls while nothing
+    /// issues, arrives, or faults.
+    fn peek_next(&mut self) -> (Command, Ps) {
+        if let Some(n) = self.cached_next {
+            return n;
+        }
+        let n = self
+            .next_action()
+            .expect("controller always has a next action (refresh fallback)");
+        self.cached_next = Some(n);
+        n
+    }
+
+    /// The instant of the next command this controller will issue — its
+    /// contribution to the sim layer's next-event skip bound. Total: the
+    /// refresh fallback guarantees a pending command at all times.
+    pub fn next_event_ps(&mut self) -> Ps {
+        self.peek_next().1
+    }
+
+    fn mark_all_stale(&mut self) {
+        for e in &mut self.entries {
+            e.kind = KIND_STALE;
+        }
+        self.set_all_active();
     }
 
     fn mark_head(&mut self, flat: usize, act: bool) {
@@ -337,26 +703,30 @@ impl MemController {
     /// Issues every command whose legal instant is at or before `t_end`,
     /// appending read/write completions to `out`.
     ///
-    /// With opportunity counters armed, each call is one "scheduler pass":
-    /// commands issued, `earliest` probes burned, and the gap to the next
-    /// pending command past the window are recorded — the raw material for
-    /// sizing a next-event skip-ahead rework of this eager loop.
+    /// Event-driven: the next command is served from the cross-call cache
+    /// ([`MemController::peek_next`]) and per-bank candidates from the plan
+    /// cache, so a pass with nothing to issue costs O(1) instead of a full
+    /// bank scan. With opportunity counters armed, each call is one
+    /// "scheduler pass": commands issued and the gap to the next pending
+    /// command past the window are recorded — the residual-waste picture
+    /// the skip-ahead sim loop acts on.
     pub fn run_until(&mut self, t_end: Ps, out: &mut Vec<Completion>) {
         let opp = self.opp;
         let mut pass_cmds: u64 = 0;
-        let probes_before = if opp {
-            self.device.earliest_probes()
-        } else {
-            0
-        };
-        while let Some((cmd, at)) = self.next_action() {
+        let (mut batch_reads, mut batch_writes) = (0u64, 0u64);
+        let (mut batch_acts, mut batch_refs) = (0u64, 0u64);
+        loop {
+            let (cmd, at) = self.peek_next();
             if at > t_end {
+                // Nothing issuable in the window: keep the cache for the
+                // next pass.
                 if opp {
                     self.telemetry
                         .observe(names::MC_OPP_SKIP_GAP_NS, (at - t_end).as_ps() / 1000);
                 }
                 break;
             }
+            self.cached_next = None;
             pass_cmds += 1;
             self.now = at;
             self.telemetry
@@ -370,7 +740,9 @@ impl MemController {
                         .position(|x| x.req.addr.row == row && x.req.addr.col == col)
                         .expect("queued request for column command");
                     let q = self.queues[flat].remove(pos).expect("position valid");
+                    self.pending -= 1;
                     let issued = self.device.issue(cmd, at);
+                    self.stale_bank(flat);
                     let done = issued.data_ready.expect("column returns data time");
                     if self.spans {
                         self.telemetry.span_request(
@@ -400,7 +772,7 @@ impl MemController {
                         AccessKind::Read => {
                             self.stats.reads_done += 1;
                             self.stats.read_latency_ps += (done - q.req.arrival).as_ps();
-                            self.telemetry.inc(names::MC_READS, 1);
+                            batch_reads += 1;
                             self.telemetry.observe(
                                 names::MC_READ_LATENCY_NS,
                                 (done - q.req.arrival).as_ps() / 1000,
@@ -412,7 +784,7 @@ impl MemController {
                         }
                         AccessKind::Write => {
                             self.stats.writes_done += 1;
-                            self.telemetry.inc(names::MC_WRITES, 1);
+                            batch_writes += 1;
                             out.push(Completion {
                                 id: q.req.id,
                                 done_at: at,
@@ -424,8 +796,12 @@ impl MemController {
                     let flat = bank.flat_in_subchannel(self.device.geometry());
                     self.mark_head(flat, true);
                     self.raa[flat] += 1;
+                    if self.cfg.rfm_bat == Some(self.raa[flat]) {
+                        self.raa_armed += 1;
+                    }
                     self.device.issue(cmd, at);
-                    self.telemetry.inc(names::MC_ACTS, 1);
+                    self.stale_bank(flat);
+                    batch_acts += 1;
                 }
                 Command::Pre { bank } => {
                     let flat = bank.flat_in_subchannel(self.device.geometry());
@@ -434,9 +810,11 @@ impl MemController {
                         self.mark_head(flat, false);
                     }
                     self.device.issue(cmd, at);
+                    self.stale_bank(flat);
                 }
                 Command::PreAll => {
                     self.device.issue(cmd, at);
+                    self.mark_all_stale();
                 }
                 Command::Ref => {
                     if self.spans {
@@ -461,10 +839,12 @@ impl MemController {
                     } else {
                         self.device.issue(cmd, at);
                     }
-                    self.telemetry.inc(names::MC_REFS, 1);
+                    self.mark_all_stale();
+                    batch_refs += 1;
                 }
                 Command::Rfm { alert } => {
                     self.device.issue(cmd, at);
+                    self.mark_all_stale();
                     if alert {
                         if let Some(t0) = self.alert_observed_at.take() {
                             let stall = at - t0;
@@ -513,6 +893,7 @@ impl MemController {
                         for c in &mut self.raa {
                             *c = 0;
                         }
+                        self.raa_armed = 0;
                     }
                 }
             }
@@ -526,18 +907,30 @@ impl MemController {
                 );
             }
         }
+        // Flush the batched command counters once per pass (before any
+        // epoch boundary can read them) instead of per command. Zero
+        // deltas are skipped so untouched counters never materialize.
+        if batch_reads > 0 {
+            self.telemetry.inc(names::MC_READS, batch_reads);
+        }
+        if batch_writes > 0 {
+            self.telemetry.inc(names::MC_WRITES, batch_writes);
+        }
+        if batch_acts > 0 {
+            self.telemetry.inc(names::MC_ACTS, batch_acts);
+        }
+        if batch_refs > 0 {
+            self.telemetry.inc(names::MC_REFS, batch_refs);
+        }
         if opp {
             self.telemetry.inc(names::MC_OPP_SCHED_PASSES, 1);
             if pass_cmds == 0 {
+                // Under the event core an idle pass means "this window
+                // held no event", not "a full scan found nothing".
                 self.telemetry.inc(names::MC_OPP_IDLE_PASSES, 1);
             }
             self.telemetry
                 .observe(names::MC_OPP_CMDS_PER_PASS, pass_cmds);
-            // Accumulate the per-pass probe delta so the counter sums over
-            // both sub-channel devices.
-            let delta = self.device.earliest_probes() - probes_before;
-            self.telemetry.observe(names::MC_OPP_PROBES_PER_PASS, delta);
-            self.telemetry.inc(names::DRAM_OPP_EARLIEST_PROBES, delta);
         }
     }
 }

@@ -1,8 +1,6 @@
 //! Full-system composition: cores + LLC + paging + two memory controllers
 //! (one per sub-channel) + DRAM devices with the configured mitigation.
 
-use std::collections::HashMap;
-
 use mirza_dram::address::RowMapping;
 use mirza_dram::device::Subchannel;
 use mirza_dram::mitigation::MitigationStats;
@@ -10,6 +8,7 @@ use mirza_dram::stats::DeviceStats;
 use mirza_dram::time::Ps;
 use mirza_frontend::cache::{CacheOutcome, SetAssocCache};
 use mirza_frontend::core::{AccessResult, Core, RunStatus};
+use mirza_frontend::hash::FxHashMap;
 use mirza_frontend::paging::PageAllocator;
 use mirza_frontend::trace::AccessStream;
 use mirza_memctrl::controller::MemController;
@@ -21,6 +20,12 @@ use crate::config::SimConfig;
 use crate::faults::FaultInjector;
 use crate::report::SimReport;
 use crate::SimError;
+
+/// Sampling period for the per-pass profiler phase spans: only 1-in-N
+/// scheduler passes are timed (durations scaled back up by N), keeping the
+/// clock reads themselves off the profile. Attribution stays statistically
+/// right because pass costs are narrowly distributed.
+const PASS_SAMPLE: u32 = 16;
 
 /// Per-core launch description.
 pub struct CoreSetup {
@@ -70,7 +75,9 @@ pub struct System {
     pager: PageAllocator,
     mapper: AddressMapper,
     mcs: Vec<MemController>,
-    token_owner: HashMap<u64, usize>,
+    // Insert per owned read, remove per completion — hot enough that the
+    // deterministic fast hasher is worth it (order never observed).
+    token_owner: FxHashMap<u64, usize>,
     next_token: u64,
     issued_this_pass: bool,
     telemetry: Telemetry,
@@ -140,7 +147,7 @@ impl System {
             pager: PageAllocator::new(geom.total_bytes()),
             mapper: AddressMapper::mop4(geom),
             mcs,
-            token_owner: HashMap::new(),
+            token_owner: FxHashMap::default(),
             next_token: 1,
             issued_this_pass: false,
             telemetry: Telemetry::disabled(),
@@ -213,11 +220,27 @@ impl System {
 
     /// Runs to completion and produces the report, or a
     /// [`SimError::Watchdog`] if forward progress stops (no work retired
-    /// for `cfg.watchdog_idle_quanta` consecutive quanta) or the optional
-    /// `cfg.watchdog_wall` wall-clock budget is exhausted. On the error
-    /// path, per-controller telemetry is flushed and any epoch series is
-    /// closed at the stall boundary, so partial streams stay readable.
+    /// for the idle budget — `cfg.watchdog_idle_quanta` quanta of
+    /// simulated time) or the optional `cfg.watchdog_wall` wall-clock
+    /// budget is exhausted. On the error path, per-controller telemetry is
+    /// flushed and any epoch series is closed at the stall boundary, so
+    /// partial streams stay readable.
+    ///
+    /// Dispatches to the next-event skip-ahead core, or to the legacy
+    /// eager per-quantum loop when `cfg.legacy_loop` is set. The two are
+    /// bit-identical (pinned by `sim/tests/event_core.rs`).
     pub fn try_run(&mut self) -> Result<SimReport, SimError> {
+        if self.cfg.legacy_loop {
+            self.try_run_legacy()
+        } else {
+            self.try_run_event()
+        }
+    }
+
+    /// The legacy eager loop: every quantum boundary is visited and every
+    /// core re-run, whether or not anything can happen there. Kept for the
+    /// loop-equivalence test and as a fallback (`--legacy-loop`).
+    fn try_run_legacy(&mut self) -> Result<SimReport, SimError> {
         let quantum = self.cfg.quantum;
         let mut t_end = quantum;
         let mut completions: Vec<Completion> = Vec::new();
@@ -236,6 +259,7 @@ impl System {
             .watchdog_wall
             .map(|limit| (std::time::Instant::now(), limit));
         let mut stalled: Option<String> = None;
+        let mut pass_tick: u32 = 0;
         while !cores
             .iter()
             .zip(&self.required)
@@ -248,7 +272,13 @@ impl System {
             loop {
                 self.issued_this_pass = false;
                 let mut delivered = false;
-                let p = tel.profile_start();
+                // Same 1-in-PASS_SAMPLE span sampling as the event core.
+                pass_tick = pass_tick.wrapping_add(1);
+                let p = if pass_tick.is_multiple_of(PASS_SAMPLE) {
+                    tel.profile_start()
+                } else {
+                    None
+                };
                 for core in cores.iter_mut() {
                     if core.finished() {
                         continue;
@@ -257,20 +287,18 @@ impl System {
                     let _status: RunStatus =
                         core.run(t_end, |v, s, now| self.memory_access(id, v, s, now));
                 }
-                tel.profile_end(Phase::Frontend, p);
-                let p = tel.profile_start();
+                let p = tel.profile_next_scaled(Phase::Frontend, p, PASS_SAMPLE);
                 for mc in &mut self.mcs {
                     mc.run_until(t_end, &mut completions);
                 }
-                tel.profile_end(Phase::Device, p);
-                let p = tel.profile_start();
+                let p = tel.profile_next_scaled(Phase::Device, p, PASS_SAMPLE);
                 for c in completions.drain(..) {
                     if let Some(owner) = self.token_owner.remove(&c.id) {
                         cores[owner].complete(c.id, c.done_at);
                         delivered = true;
                     }
                 }
-                tel.profile_end(Phase::Scheduler, p);
+                tel.profile_end_scaled(Phase::Scheduler, p, PASS_SAMPLE);
                 if !(self.issued_this_pass || delivered) {
                     break;
                 }
@@ -346,6 +374,242 @@ impl System {
         tel.profile_end(Phase::Report, p);
         // Terminate the span layer's Chrome trace after the report snapshot
         // (the attribution summary is already embedded in it).
+        tel.spans_finish();
+        Ok(report)
+    }
+
+    /// The next-event skip-ahead loop. Semantically identical to
+    /// [`System::try_run_legacy`] — `sim/tests/event_core.rs` pins the two
+    /// bit-identical — but it avoids provably-idle work along two axes:
+    ///
+    /// - **Core parking.** A core that returned [`RunStatus::Blocked`] can
+    ///   do nothing until a completion reaches it: re-running it repeats
+    ///   the same failed MSHR/ROB check without side effects. Blocked cores
+    ///   are parked and woken by the delivery that unblocks them.
+    ///   Completions whose `done_at` lies beyond the current horizon are
+    ///   buffered as wake-up times and mature at the first boundary that
+    ///   covers them — the boundary where the legacy loop's eager re-run
+    ///   stops being a no-op.
+    /// - **Quantum skipping.** When every unfinished core is blocked, the
+    ///   clock jumps to the first quantum boundary that can host an event:
+    ///   the min over each controller's next legal command instant
+    ///   (`MemController::next_event_ps`), buffered future completions, the
+    ///   fault injector's next due time, and the watchdog deadline. The
+    ///   boundaries in between are no-ops in the legacy loop (no issue, no
+    ///   delivery, no RNG draw), so skipping them changes no simulator
+    ///   state — only wall-clock time.
+    ///
+    /// The watchdog budget is simulated time (`quantum *
+    /// watchdog_idle_quanta` ps) rather than a count of visited boundaries,
+    /// so a skip cannot out-run it: the skip bound caps at the deadline,
+    /// the loop lands there, and the stall fires at the same boundary the
+    /// legacy loop would have chosen.
+    fn try_run_event(&mut self) -> Result<SimReport, SimError> {
+        let quantum = self.cfg.quantum;
+        let mut t_end = quantum;
+        let mut completions: Vec<Completion> = Vec::new();
+        let mut cores = std::mem::take(&mut self.cores);
+        let mut heartbeat = self.cfg.heartbeat_every.map(Heartbeat::new);
+        let tel = self.telemetry.clone();
+        let faults = self.faults.clone();
+        let sample_epochs = tel.has_epochs();
+        let opp = tel.has_opportunity();
+        let wall = self
+            .cfg
+            .watchdog_wall
+            .map(|limit| (std::time::Instant::now(), limit));
+        let mut stalled: Option<String> = None;
+        // Watchdog idle budget in simulated picoseconds. A zero quantum
+        // (run_stalled) gives a zero budget: the stall fires at the first
+        // idle boundary, with nothing skippable in between.
+        let idle_budget_ps = quantum
+            .as_ps()
+            .saturating_mul(self.cfg.watchdog_idle_quanta);
+        let mut last_progress_end = Ps::ZERO;
+        // Per-core scheduling state: `runnable` marks cores the frontend
+        // must run at the current boundary; `status` holds each core's last
+        // RunStatus; `future` buffers delivered completions that mature
+        // beyond the current horizon, as wake-up times.
+        let mut runnable = vec![true; cores.len()];
+        let mut status = vec![RunStatus::HorizonReached; cores.len()];
+        let mut future: Vec<Vec<Ps>> = vec![Vec::new(); cores.len()];
+        let mut pass_tick: u32 = 0;
+        loop {
+            let done = cores
+                .iter()
+                .zip(&self.required)
+                .all(|(c, req)| !req || c.finished());
+            if done {
+                break;
+            }
+            if let Some(inj) = &faults {
+                inj.tick(t_end, &mut self.mcs);
+            }
+            let mut progressed_in_quantum = false;
+            loop {
+                self.issued_this_pass = false;
+                let mut delivered = false;
+                // Sampled phase spans: time 1-in-PASS_SAMPLE passes and
+                // scale up, so the per-pass clock reads stay off the
+                // profile (see `profile_next_scaled`).
+                pass_tick = pass_tick.wrapping_add(1);
+                let p = if pass_tick.is_multiple_of(PASS_SAMPLE) {
+                    tel.profile_start()
+                } else {
+                    None
+                };
+                for core in cores.iter_mut() {
+                    let id = core.id() as usize;
+                    if core.finished() || !runnable[id] {
+                        continue;
+                    }
+                    runnable[id] = false;
+                    status[id] = core.run(t_end, |v, s, now| self.memory_access(id, v, s, now));
+                }
+                let p = tel.profile_next_scaled(Phase::Frontend, p, PASS_SAMPLE);
+                for mc in &mut self.mcs {
+                    mc.run_until(t_end, &mut completions);
+                }
+                let p = tel.profile_next_scaled(Phase::Device, p, PASS_SAMPLE);
+                for c in completions.drain(..) {
+                    if let Some(owner) = self.token_owner.remove(&c.id) {
+                        cores[owner].complete(c.id, c.done_at);
+                        if c.done_at > t_end {
+                            future[owner].push(c.done_at);
+                        } else {
+                            runnable[owner] = true;
+                        }
+                        delivered = true;
+                    }
+                }
+                tel.profile_end_scaled(Phase::Scheduler, p, PASS_SAMPLE);
+                if !(self.issued_this_pass || delivered) {
+                    break;
+                }
+                progressed_in_quantum = true;
+            }
+            if progressed_in_quantum {
+                last_progress_end = t_end;
+            } else {
+                let idle_ps = t_end.as_ps() - last_progress_end.as_ps();
+                if idle_ps >= idle_budget_ps {
+                    let n = if quantum > Ps::ZERO {
+                        idle_ps / quantum.as_ps()
+                    } else {
+                        self.cfg.watchdog_idle_quanta
+                    };
+                    stalled = Some(format!("no forward progress for {n} quanta"));
+                    break;
+                }
+            }
+            if let Some((started, limit)) = wall {
+                if started.elapsed() >= limit {
+                    stalled = Some(format!(
+                        "wall-clock budget of {:.1}s exhausted",
+                        limit.as_secs_f64()
+                    ));
+                    break;
+                }
+            }
+            let p = tel.profile_start();
+            if let Some(hb) = heartbeat.as_mut() {
+                let retired = cores.iter().map(Core::instructions).sum();
+                if let Some(line) = hb.tick(retired, t_end.as_ps()) {
+                    eprintln!("{line}");
+                }
+            }
+            if sample_epochs {
+                self.update_epoch_inputs(&cores);
+                tel.epoch_tick(t_end.as_ps());
+            }
+            tel.profile_end(Phase::Io, p);
+            let mut next = t_end + quantum;
+            let required_pending = cores
+                .iter()
+                .zip(&self.required)
+                .any(|(c, req)| *req && !c.finished());
+            if required_pending
+                && quantum > Ps::ZERO
+                && cores
+                    .iter()
+                    .all(|c| c.finished() || status[c.id() as usize] == RunStatus::Blocked)
+            {
+                // Min over everything that could make a boundary non-idle.
+                let mut bound = last_progress_end.as_ps().saturating_add(idle_budget_ps);
+                for mc in &mut self.mcs {
+                    bound = bound.min(mc.next_event_ps().as_ps());
+                }
+                for waits in &future {
+                    for d in waits {
+                        bound = bound.min(d.as_ps());
+                    }
+                }
+                if let Some(inj) = &faults {
+                    if let Some(due) = inj.next_due_ps() {
+                        bound = bound.min(due.as_ps());
+                    }
+                }
+                if bound > next.as_ps() {
+                    // Land on the first quantum boundary covering the
+                    // bound, so fault firing and completion delivery happen
+                    // at the same boundary the legacy loop uses.
+                    let k = (bound - t_end.as_ps()).div_ceil(quantum.as_ps());
+                    next = t_end + quantum * k;
+                    if opp {
+                        tel.observe(names::SIM_OPP_SKIP_TAKEN_NS, (next - t_end).as_ps() / 1000);
+                    }
+                }
+            }
+            for (i, core) in cores.iter().enumerate() {
+                if core.finished() {
+                    continue;
+                }
+                if status[i] != RunStatus::Blocked {
+                    runnable[i] = true;
+                }
+                let waits = &mut future[i];
+                if !waits.is_empty() {
+                    let before = waits.len();
+                    waits.retain(|d| *d > next);
+                    if waits.len() < before {
+                        runnable[i] = true;
+                    }
+                }
+            }
+            t_end = next;
+        }
+        self.cores = cores;
+        for mc in &mut self.mcs {
+            mc.finish_telemetry();
+        }
+        if sample_epochs {
+            let boundary = if stalled.is_some() {
+                t_end
+            } else {
+                t_end - quantum
+            };
+            tel.epoch_finish(boundary.as_ps());
+        }
+        if let Some(reason) = stalled {
+            return Err(SimError::Watchdog {
+                reason,
+                instructions: self.cores.iter().map(Core::instructions).sum(),
+                sim_time_ps: t_end.as_ps(),
+            });
+        }
+        if self.cfg.track_row_acts {
+            let max = self
+                .mcs
+                .iter()
+                .filter_map(|mc| mc.device().auditor())
+                .map(|a| u64::from(a.max_row_acts()))
+                .max()
+                .unwrap_or(0);
+            tel.set_counter(names::AUDIT_MAX_ROW_ACTS, max);
+        }
+        let p = tel.profile_start();
+        let report = self.build_report();
+        tel.profile_end(Phase::Report, p);
         tel.spans_finish();
         Ok(report)
     }

@@ -1,0 +1,107 @@
+//! Loop equivalence: the next-event skip-ahead core (`System::try_run`
+//! default) must be bit-identical to the legacy eager per-quantum loop
+//! (`cfg.legacy_loop`) — same report, same telemetry registry, same epoch
+//! stream, same fault summary — under every mitigator, with the protocol
+//! auditor, span layer, epoch sampler, and fault injector all armed at
+//! once. The skip-ahead optimization only elides provably-idle boundaries,
+//! so any divergence here is a scheduling bug, not noise.
+
+use mirza_core::config::MirzaConfig;
+use mirza_core::rct::ResetPolicy;
+use mirza_sim::config::{MitigationConfig, SimConfig};
+use mirza_sim::faults::{FaultInjector, FaultPlan};
+use mirza_sim::runner::{run_stalled, try_run_workload_with};
+use mirza_sim::SimError;
+use mirza_telemetry::{EpochSampler, SpanCollector, Telemetry};
+
+fn mitigator(index: usize) -> MitigationConfig {
+    match index {
+        0 => MitigationConfig::Mirza {
+            cfg: MirzaConfig::trhd_1000(),
+            policy: ResetPolicy::Safe,
+        },
+        1 => MitigationConfig::PracAbo { trhd: 1000 },
+        2 => MitigationConfig::Mithril {
+            entries: 64,
+            refs_per_mit: 1,
+        },
+        3 => MitigationConfig::Trr,
+        _ => MitigationConfig::None,
+    }
+}
+
+/// Runs one fully-instrumented workload under the selected loop and
+/// flattens every deterministic observable into one comparison document.
+fn manifest(mit: usize, legacy: bool) -> String {
+    let mut cfg = SimConfig::new(mitigator(mit), 20_000);
+    cfg.cores = 2;
+    cfg.audit = true;
+    cfg.track_row_acts = true;
+    cfg.legacy_loop = legacy;
+    let telemetry = Telemetry::enabled()
+        .with_epochs(EpochSampler::new(1_000_000))
+        .with_spans(SpanCollector::new());
+    let plan = FaultPlan::parse("rct-seu:start_us=1,period_us=2").expect("canned plan");
+    let injector = FaultInjector::new(plan, telemetry.clone());
+    let report = try_run_workload_with(&cfg, "lbm", telemetry.clone(), Some(&injector))
+        .expect("instrumented run completes");
+    let mut doc = report.to_json().to_string_pretty();
+    doc.push('\n');
+    doc.push_str(
+        &telemetry
+            .to_json()
+            .expect("telemetry enabled")
+            .to_string_pretty(),
+    );
+    doc.push('\n');
+    doc.push_str(&telemetry.epochs_jsonl().expect("sampler attached"));
+    doc.push_str(&injector.summary_json().to_string_pretty());
+    doc
+}
+
+#[test]
+fn event_core_matches_legacy_loop_bit_for_bit() {
+    for mit in 0..5 {
+        let event = manifest(mit, false);
+        let legacy = manifest(mit, true);
+        assert!(
+            event.contains("\"faults\"") || !event.is_empty(),
+            "comparison document must not be empty"
+        );
+        assert_eq!(
+            event, legacy,
+            "mitigator {mit}: event core diverges from the legacy loop"
+        );
+    }
+}
+
+/// Satellite regression: the forward-progress watchdog still aborts a
+/// stalled run with exit code 6 under both loops, even though the event
+/// core rebases the idle budget from visited-boundary counts onto
+/// simulated-time progress.
+#[test]
+fn watchdog_still_aborts_stalls_under_both_loops() {
+    for legacy in [false, true] {
+        let mut cfg = SimConfig::new(MitigationConfig::None, 5_000);
+        cfg.cores = 1;
+        cfg.watchdog_idle_quanta = 10_000;
+        cfg.legacy_loop = legacy;
+        let err = run_stalled(&cfg, "lbm", Telemetry::disabled())
+            .expect_err("zero-width quantum must stall");
+        match &err {
+            SimError::Watchdog {
+                reason,
+                instructions,
+                ..
+            } => {
+                assert!(
+                    reason.contains("no forward progress"),
+                    "legacy_loop={legacy}: unexpected reason {reason:?}"
+                );
+                assert_eq!(*instructions, 0, "legacy_loop={legacy}");
+            }
+            other => panic!("legacy_loop={legacy}: expected watchdog, got {other}"),
+        }
+        assert_eq!(err.exit_code(), 6);
+    }
+}

@@ -263,6 +263,48 @@ impl Telemetry {
         }
     }
 
+    /// Ends the span for `phase` and opens the next one with a single
+    /// clock read: the instant that closes `phase` is returned as the
+    /// start of the following span. Back-to-back phases in a hot loop
+    /// should chain through this instead of paying `profile_end` +
+    /// `profile_start` (two reads) per boundary — on the event core the
+    /// vDSO `clock_gettime` calls are otherwise visible in profiles.
+    pub fn profile_next(&self, phase: Phase, start: Option<Instant>) -> Option<Instant> {
+        self.profile_next_scaled(phase, start, 1)
+    }
+
+    /// [`Telemetry::profile_next`] with sampled attribution: the measured
+    /// duration is multiplied by `scale` before it is added to `phase`.
+    /// Chains through a hot loop that only times every `scale`-th pass.
+    pub fn profile_next_scaled(
+        &self,
+        phase: Phase,
+        start: Option<Instant>,
+        scale: u32,
+    ) -> Option<Instant> {
+        let start = start?;
+        let now = Instant::now();
+        if let Some(inner) = &self.inner {
+            if let Some(p) = inner.borrow_mut().profiler.as_mut() {
+                p.add(phase, (now - start) * scale);
+            }
+        }
+        Some(now)
+    }
+
+    /// Ends a profiled span started by [`Telemetry::profile_start`],
+    /// attributing `scale` times the measured duration to `phase`. For
+    /// sampled attribution on very hot call sites: time every `scale`-th
+    /// call, scale back up, and the phase total stays statistically right
+    /// while the clock-read cost drops by the same factor.
+    pub fn profile_end_scaled(&self, phase: Phase, start: Option<Instant>, scale: u32) {
+        if let (Some(start), Some(inner)) = (start, &self.inner) {
+            if let Some(p) = inner.borrow_mut().profiler.as_mut() {
+                p.add(phase, start.elapsed() * scale);
+            }
+        }
+    }
+
     /// Ends a profiled span started by [`Telemetry::profile_start`].
     pub fn profile_end(&self, phase: Phase, start: Option<Instant>) {
         if let (Some(start), Some(inner)) = (start, &self.inner) {

@@ -36,21 +36,20 @@ pub const MC_RFMS: &str = "mc.rfms";
 /// Gauge: outstanding requests across all bank queues (epoch input).
 pub const MC_QUEUE_DEPTH: &str = "mc.queue_depth";
 
-// --- Hot-path opportunity counters (memctrl::controller) ---
+// --- Hot-path opportunity counters (memctrl::controller, sim::system) ---
 //
-// Armed with `Telemetry::with_opportunity`; they size the ROADMAP item-2
-// next-event skip-ahead rework. A "pass" is one `run_until` call — the
-// system's inner progress loop makes at least two per quantum per
-// controller, so idle passes measure wasted rescans directly.
+// Armed with `Telemetry::with_opportunity`; they size the residual waste
+// left in the event-driven core (ROADMAP item 2). A "pass" is one
+// `run_until` call — the system's inner progress loop makes at least one
+// per visited quantum per controller.
 
 /// Counter: scheduler passes (`run_until` calls) executed.
 pub const MC_OPP_SCHED_PASSES: &str = "mc.opp_sched_passes";
-/// Counter: scheduler passes that issued zero commands.
+/// Counter: scheduler passes that issued zero commands — under the event
+/// core, windows visited that held no device event.
 pub const MC_OPP_IDLE_PASSES: &str = "mc.opp_idle_passes";
 /// Histogram: commands issued per scheduler pass.
 pub const MC_OPP_CMDS_PER_PASS: &str = "mc.opp_cmds_per_pass";
-/// Histogram: device `earliest` probes per scheduler pass.
-pub const MC_OPP_PROBES_PER_PASS: &str = "mc.opp_probes_per_pass";
 /// Histogram: gap from the window end to the next pending command's legal
 /// instant, in nanoseconds — the time a next-event loop could skip.
 pub const MC_OPP_SKIP_GAP_NS: &str = "mc.opp_skip_gap_ns";
@@ -61,9 +60,6 @@ pub const MC_OPP_SKIP_GAP_NS: &str = "mc.opp_skip_gap_ns";
 pub const DRAM_OPEN_BANKS: &str = "dram.open_banks";
 /// Histogram: end-of-run ACT count per (bank, subarray).
 pub const DRAM_ACTS_PER_SUBARRAY: &str = "dram.acts_per_subarray";
-/// Counter: `Subchannel::earliest` timing probes across both devices —
-/// the eager-scan work a next-event scheduler would avoid repeating.
-pub const DRAM_OPP_EARLIEST_PROBES: &str = "dram.opp_earliest_probes";
 
 // --- System metrics (sim::system) ---
 
@@ -71,6 +67,9 @@ pub const DRAM_OPP_EARLIEST_PROBES: &str = "dram.opp_earliest_probes";
 pub const SIM_INSTRUCTIONS: &str = "sim.instructions";
 /// Gauge: simulated time at end of run, in milliseconds.
 pub const SIM_ELAPSED_MS: &str = "sim.elapsed_ms";
+/// Histogram: simulated time the event loop actually jumped past quantum
+/// boundaries with every core blocked, in nanoseconds per skip.
+pub const SIM_OPP_SKIP_TAKEN_NS: &str = "sim.opp_skip_taken_ns";
 
 // --- LLC metrics (sim::system) ---
 
@@ -176,13 +175,12 @@ pub const ALL_METRICS: &[&str] = &[
     MC_OPP_SCHED_PASSES,
     MC_OPP_IDLE_PASSES,
     MC_OPP_CMDS_PER_PASS,
-    MC_OPP_PROBES_PER_PASS,
     MC_OPP_SKIP_GAP_NS,
     DRAM_OPEN_BANKS,
     DRAM_ACTS_PER_SUBARRAY,
-    DRAM_OPP_EARLIEST_PROBES,
     SIM_INSTRUCTIONS,
     SIM_ELAPSED_MS,
+    SIM_OPP_SKIP_TAKEN_NS,
     LLC_HIT_RATE,
     CORE_MSHR_STALL_PS,
     CORE_ROB_STALL_PS,

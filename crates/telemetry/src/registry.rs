@@ -7,12 +7,54 @@ use crate::histogram::Histogram;
 use crate::json::Json;
 use std::collections::BTreeMap;
 
+/// Recently-resolved `(name, slot)` pairs kept per metric family. Metric
+/// names are `const` literals, so each call site passes a stable pointer;
+/// a tiny linear scan on pointer identity skips the `BTreeMap` string walk
+/// on the hot per-command paths. The same name reached through a different
+/// pointer (consts inline per use-site) just occupies a second memo entry
+/// mapping to the same slot, so correctness never depends on identity.
+const MEMO_SLOTS: usize = 8;
+
+#[derive(Debug, Default, Clone)]
+struct NameMemo {
+    slots: Vec<(&'static str, usize)>,
+    cursor: usize,
+}
+
+impl NameMemo {
+    #[inline]
+    fn get(&self, name: &'static str) -> Option<usize> {
+        self.slots
+            .iter()
+            .find(|(n, _)| n.as_ptr() == name.as_ptr() && n.len() == name.len())
+            .map(|&(_, idx)| idx)
+    }
+
+    fn put(&mut self, name: &'static str, idx: usize) {
+        if self.slots.len() < MEMO_SLOTS {
+            self.slots.push((name, idx));
+        } else {
+            self.slots[self.cursor % MEMO_SLOTS] = (name, idx);
+            self.cursor = (self.cursor + 1) % MEMO_SLOTS;
+        }
+    }
+}
+
 /// Holds every named metric recorded during one simulation run.
+///
+/// Counter and histogram values live in dense vectors; the `BTreeMap`s map
+/// names to vector slots and keep manifest iteration deterministically
+/// name-ordered. A [`NameMemo`] per family resolves repeat lookups from the
+/// same call site without touching the tree.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
-    counters: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<&'static str, usize>,
+    counter_vals: Vec<u64>,
+    counter_memo: NameMemo,
     gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    histograms: BTreeMap<&'static str, usize>,
+    histogram_vals: Vec<Histogram>,
+    histogram_memo: NameMemo,
 }
 
 impl Registry {
@@ -21,16 +63,54 @@ impl Registry {
         Self::default()
     }
 
+    #[inline]
+    fn counter_slot(&mut self, name: &'static str) -> usize {
+        if let Some(idx) = self.counter_memo.get(name) {
+            return idx;
+        }
+        let idx = match self.counters.get(name) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.counter_vals.len();
+                self.counter_vals.push(0);
+                self.counters.insert(name, idx);
+                idx
+            }
+        };
+        self.counter_memo.put(name, idx);
+        idx
+    }
+
+    #[inline]
+    fn histogram_slot(&mut self, name: &'static str) -> usize {
+        if let Some(idx) = self.histogram_memo.get(name) {
+            return idx;
+        }
+        let idx = match self.histograms.get(name) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.histogram_vals.len();
+                self.histogram_vals.push(Histogram::default());
+                self.histograms.insert(name, idx);
+                idx
+            }
+        };
+        self.histogram_memo.put(name, idx);
+        idx
+    }
+
     /// Adds `by` to the named counter (created at zero on first use).
     pub fn inc(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+        let idx = self.counter_slot(name);
+        self.counter_vals[idx] += by;
     }
 
     /// Sets the named counter to an absolute value. For cumulative values
     /// maintained elsewhere (e.g. instructions retired per core) that the
     /// epoch sampler should see as a counter, not a gauge.
     pub fn set_counter(&mut self, name: &'static str, v: u64) {
-        self.counters.insert(name, v);
+        let idx = self.counter_slot(name);
+        self.counter_vals[idx] = v;
     }
 
     /// Sets the named gauge to `v`.
@@ -40,12 +120,15 @@ impl Registry {
 
     /// Records one sample into the named histogram.
     pub fn observe(&mut self, name: &'static str, v: u64) {
-        self.histograms.entry(name).or_default().record(v);
+        let idx = self.histogram_slot(name);
+        self.histogram_vals[idx].record(v);
     }
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .get(name)
+            .map_or(0, |&idx| self.counter_vals[idx])
     }
 
     /// Current value of a gauge.
@@ -55,12 +138,16 @@ impl Registry {
 
     /// The named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.histograms
+            .get(name)
+            .map(|&idx| &self.histogram_vals[idx])
     }
 
     /// Iterates counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        self.counters
+            .iter()
+            .map(|(k, &idx)| (*k, self.counter_vals[idx]))
     }
 
     /// Iterates gauges in name order.
@@ -70,27 +157,29 @@ impl Registry {
 
     /// Iterates histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (*k, v))
+        self.histograms
+            .iter()
+            .map(|(k, &idx)| (*k, &self.histogram_vals[idx]))
     }
 
     /// Number of histograms holding at least one sample.
     pub fn nonzero_histograms(&self) -> usize {
-        self.histograms.values().filter(|h| h.count() > 0).count()
+        self.histogram_vals.iter().filter(|h| h.count() > 0).count()
     }
 
     /// Serializes the whole registry: counters and gauges verbatim,
     /// histograms as percentile summaries.
     pub fn to_json(&self) -> Json {
         let mut counters = Json::obj();
-        for (name, v) in &self.counters {
-            counters.push(name, *v);
+        for (name, v) in self.counters() {
+            counters.push(name, v);
         }
         let mut gauges = Json::obj();
         for (name, v) in &self.gauges {
             gauges.push(name, *v);
         }
         let mut histograms = Json::obj();
-        for (name, h) in &self.histograms {
+        for (name, h) in self.histograms() {
             let s = h.summary();
             let mut o = Json::obj();
             o.push("count", s.count)
@@ -143,6 +232,31 @@ mod tests {
         assert_eq!(r.nonzero_histograms(), 2);
         let names: Vec<_> = r.histograms().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["h.one", "h.two"]); // BTreeMap order
+    }
+
+    #[test]
+    fn memo_eviction_keeps_values_correct() {
+        // More distinct names than MEMO_SLOTS, revisited round-robin, so
+        // the memo keeps evicting and every lookup path gets exercised.
+        let names: [&'static str; 10] = [
+            "m.a", "m.b", "m.c", "m.d", "m.e", "m.f", "m.g", "m.h", "m.i", "m.j",
+        ];
+        let mut r = Registry::new();
+        for round in 0..3u64 {
+            for (i, n) in names.iter().enumerate() {
+                r.inc(n, i as u64 + round);
+                r.observe(n, i as u64);
+            }
+        }
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(r.counter(n), 3 * i as u64 + 3);
+            assert_eq!(r.histogram(n).unwrap().count(), 3);
+        }
+        // Iteration stays name-ordered regardless of insertion slots.
+        let listed: Vec<_> = r.counters().map(|(n, _)| n).collect();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        assert_eq!(listed, sorted);
     }
 
     #[test]

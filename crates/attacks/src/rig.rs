@@ -296,6 +296,22 @@ impl<'a> HammerHarness<'a> {
     }
 }
 
+/// Monte-Carlo seed sweep: runs `trial(seed)` for every seed on the
+/// supervised `mirza-runner` work-pool and returns the results in seed
+/// order regardless of completion order. Each trial must be pure in its
+/// seed (every rig entry point is RNG-free by contract), so the returned
+/// vector is bit-identical at any job count — `jobs <= 1` runs inline on
+/// the caller thread. A panicking trial propagates as a panic after the
+/// pool's bounded retry; sweeps that need degraded endings instead should
+/// drive [`mirza_runner::Pool`] with their own [`mirza_runner::Cell`].
+pub fn monte_carlo<T, F>(seeds: &[u64], jobs: usize, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    mirza_runner::parallel_map(seeds, jobs, |_, &seed| trial(seed))
+}
+
 /// Runs `pattern` flat-out for `refs` REF intervals and reports.
 pub fn run_hammer(
     mitigator: &mut dyn Mitigator,
@@ -510,6 +526,35 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn monte_carlo_is_bit_identical_across_job_counts() {
+        // A real rig trial per seed: the supervised pool must return the
+        // exact vector the inline (jobs = 1) path produces, at any width.
+        let trial = |seed: u64| {
+            let cfg = MirzaConfig::trhd_1000();
+            let mut m = Mirza::new(cfg, &geom(), seed);
+            let mapping = *m.mapping().unwrap();
+            let mut s = PatternStrategy::double_sided(&mapping, 5_000);
+            let mut sched = Burst;
+            run_attack(
+                &mut m,
+                &geom(),
+                &timing(),
+                0,
+                &mut s,
+                &mut sched,
+                &AnyRow,
+                cfg.safe_trhd(),
+                128,
+            )
+        };
+        let seeds: Vec<u64> = (0..6).collect();
+        let serial = monte_carlo(&seeds, 1, trial);
+        for jobs in [2, 8] {
+            assert_eq!(serial, monte_carlo(&seeds, jobs, trial), "jobs={jobs}");
+        }
     }
 
     #[test]

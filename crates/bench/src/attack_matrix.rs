@@ -14,10 +14,19 @@
 //! alone, every strategy draws randomness only from those seeds, and the
 //! rig is RNG-free — so a re-run with the same master seed produces a
 //! bit-identical CSV (there is an integration test pinning this).
+//!
+//! Supervision: [`run_matrix_supervised`] executes the cells on the
+//! `mirza-runner` work-pool (any `--jobs`), checkpoints each completed
+//! cell into a fsync'd journal, and merges results back into canonical
+//! enumeration order — so the CSV, JSON, and `attack_cell` event stream
+//! are bit-identical to a serial run, and a `kill -9` mid-campaign loses
+//! at most the in-flight cells (`--resume` replays the rest).
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
-use mirza_attacks::rig::run_attack;
+use mirza_attacks::rig::{monte_carlo, run_attack};
 use mirza_attacks::schedule::{AlertAdaptive, Burst, Paced, Schedule};
 use mirza_attacks::strategy::{
     AddressStrategy, DecoyFlood, Feinting, PatternStrategy, RefreshSyncStrategy,
@@ -29,6 +38,8 @@ use mirza_dram::address::{RegionMap, RowMapping};
 use mirza_dram::geometry::Geometry;
 use mirza_dram::mitigation::Mitigator;
 use mirza_dram::timing::TimingParams;
+use mirza_runner::{cell_hash, Cell, CellFailure, Journal, Pool};
+use mirza_sim::SimError;
 use mirza_telemetry::{names, Json, Telemetry};
 use mirza_trackers::mithril::Mithril;
 use mirza_trackers::prac::PracMoat;
@@ -279,6 +290,46 @@ impl MatrixCell {
     pub fn success_prob(&self) -> f64 {
         f64::from(self.successes) / f64::from(self.trials.max(1))
     }
+
+    /// Serializes the cell (manifest `cells` entries and journal records).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("strategy", self.strategy.as_str())
+            .push("schedule", self.schedule.as_str())
+            .push("mitigator", self.mitigator)
+            .push("seed", self.seed)
+            .push("trials", self.trials)
+            .push("successes", self.successes)
+            .push("success_prob", self.success_prob())
+            .push("max_row_acts", self.max_row_acts)
+            .push("bound", self.bound)
+            .push("total_acts", self.total_acts)
+            .push("alerts", self.alerts);
+        j
+    }
+
+    /// Parses a [`MatrixCell::to_json`] document back (journal replay).
+    /// `None` on any missing field or an unknown mitigator label — a
+    /// record the current roster cannot own is corruption, not data.
+    pub fn from_json(doc: &Json) -> Option<MatrixCell> {
+        let label = doc.get("mitigator")?.as_str()?;
+        let mitigator = MitigatorKind::all()
+            .into_iter()
+            .map(|m| m.label())
+            .find(|l| *l == label)?;
+        Some(MatrixCell {
+            strategy: doc.get("strategy")?.as_str()?.to_string(),
+            schedule: doc.get("schedule")?.as_str()?.to_string(),
+            mitigator,
+            seed: doc.get("seed")?.as_u64()?,
+            trials: u32::try_from(doc.get("trials")?.as_u64()?).ok()?,
+            successes: u32::try_from(doc.get("successes")?.as_u64()?).ok()?,
+            max_row_acts: u32::try_from(doc.get("max_row_acts")?.as_u64()?).ok()?,
+            bound: u32::try_from(doc.get("bound")?.as_u64()?).ok()?,
+            total_acts: doc.get("total_acts")?.as_u64()?,
+            alerts: doc.get("alerts")?.as_u64()?,
+        })
+    }
 }
 
 /// A completed sweep.
@@ -290,53 +341,255 @@ pub struct MatrixResult {
     pub spec: MatrixSpec,
 }
 
-/// Runs the full matrix. Emits one `attack_cell` event per cell through
-/// `telemetry` (greppable from the JSONL event stream).
+/// Supervision policy for a matrix campaign: worker count plus optional
+/// checkpoint journal. The default (`jobs <= 1`, no journal) reproduces
+/// the historical serial sweep exactly.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixRunConfig {
+    /// Pool workers (`0` or `1` = serial on the caller thread).
+    pub jobs: usize,
+    /// Checkpoint journal path (`results/<run>.journal.jsonl`); every
+    /// completed cell is fsync'd here as it lands.
+    pub journal: Option<PathBuf>,
+    /// Replay completed cells from an existing journal of the same
+    /// campaign and schedule only the remainder.
+    pub resume: bool,
+}
+
+/// A supervised sweep: the (possibly partial) result in canonical order,
+/// plus whatever failed after retry and how many cells the journal
+/// replayed.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// Completed cells, canonical enumeration order.
+    pub result: MatrixResult,
+    /// Cells that failed after the pool's bounded retry, enumeration
+    /// order. Non-empty means `result` is partial (degraded campaign).
+    pub failures: Vec<CellFailure>,
+    /// Cells replayed from the journal instead of re-run.
+    pub resumed: usize,
+}
+
+impl MatrixOutcome {
+    /// True when every cell of the spec completed.
+    pub fn complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Stable cell identity — the journal key (via [`cell_hash`]) and the
+/// failure label. Derived purely from the cell's coordinates.
+fn matrix_cell_id(
+    strat: StrategyKind,
+    sched: ScheduleKind,
+    mit: MitigatorKind,
+    seed: u64,
+) -> String {
+    format!("{strat:?}/{sched:?}/{}/{seed}", mit.label())
+}
+
+/// Campaign identity string: every input that shapes a cell's result.
+/// Hashing it binds a journal to one exact sweep, so `--resume` can never
+/// graft records from a different scale, roster, or seed set.
+fn campaign_id(spec: &MatrixSpec) -> String {
+    format!(
+        "attack-matrix/v1/shrink={}/seed={}/trials={}/walks={}/strategies={:?}/schedules={:?}/mitigators={:?}/seeds={:?}",
+        spec.scale.shrink,
+        spec.scale.seed,
+        spec.trials,
+        spec.walks,
+        spec.strategies,
+        spec.schedules,
+        spec.mitigators,
+        spec.seeds,
+    )
+}
+
+/// One matrix cell as a pool task: plain data, pure compute.
+struct MatrixTask<'a> {
+    spec: &'a MatrixSpec,
+    geom: &'a Geometry,
+    timing: &'a TimingParams,
+    regions_per_bank: u32,
+    refs: u64,
+    strat: StrategyKind,
+    sched: ScheduleKind,
+    mit: MitigatorKind,
+    seed: u64,
+}
+
+impl Cell for MatrixTask<'_> {
+    type Out = MatrixCell;
+
+    fn id(&self) -> String {
+        matrix_cell_id(self.strat, self.sched, self.mit, self.seed)
+    }
+
+    fn run(&self) -> Result<MatrixCell, SimError> {
+        Ok(run_cell(
+            self.spec,
+            self.geom,
+            self.timing,
+            self.regions_per_bank,
+            self.strat,
+            self.sched,
+            self.mit,
+            self.seed,
+            self.refs,
+        ))
+    }
+}
+
+/// Runs the full matrix serially. Emits one `attack_cell` event per cell
+/// through `telemetry` (greppable from the JSONL event stream).
 pub fn run_matrix(spec: &MatrixSpec, telemetry: &Telemetry) -> MatrixResult {
+    run_matrix_supervised(spec, telemetry, &MatrixRunConfig::default()).result
+}
+
+/// Runs the matrix on the supervised work-pool. Completion order is up to
+/// the scheduler; the reduction is not: results (pooled or journal-
+/// replayed) merge by cell id into canonical enumeration order, and the
+/// `attack_cell` events are emitted at reduction time in that same order —
+/// so CSV, JSON, and event stream are bit-identical to a serial run. On a
+/// fully-successful campaign the journal is deleted; a degraded or killed
+/// one leaves it behind for `--resume`.
+pub fn run_matrix_supervised(
+    spec: &MatrixSpec,
+    telemetry: &Telemetry,
+    cfg: &MatrixRunConfig,
+) -> MatrixOutcome {
     let geom = spec.scale.geometry();
     let timing = TimingParams::ddr5_6000();
     let refs = spec.walks * u64::from(geom.refs_per_full_walk());
     let regions_per_bank = MirzaConfig::trhd_1000().regions_per_bank;
-    let mut cells = Vec::with_capacity(spec.cells());
+    let mut tasks = Vec::with_capacity(spec.cells());
     for strat in &spec.strategies {
         for sched in &spec.schedules {
             for mit in &spec.mitigators {
                 for &seed in &spec.seeds {
-                    let cell = run_cell(
+                    tasks.push(MatrixTask {
                         spec,
-                        &geom,
-                        &timing,
+                        geom: &geom,
+                        timing: &timing,
                         regions_per_bank,
-                        *strat,
-                        *sched,
-                        *mit,
-                        seed,
                         refs,
-                    );
-                    telemetry.event(
-                        0,
-                        names::EV_ATTACK_CELL,
-                        &[
-                            ("strategy", Json::from(cell.strategy.as_str())),
-                            ("schedule", Json::from(cell.schedule.as_str())),
-                            ("mitigator", Json::from(cell.mitigator)),
-                            ("seed", Json::from(cell.seed)),
-                            ("trials", Json::from(cell.trials)),
-                            ("successes", Json::from(cell.successes)),
-                            ("success", Json::from(cell.successes > 0)),
-                            ("max_row_acts", Json::from(cell.max_row_acts)),
-                            ("bound", Json::from(cell.bound)),
-                        ],
-                    );
-                    cells.push(cell);
+                        strat: *strat,
+                        sched: *sched,
+                        mit: *mit,
+                        seed,
+                    });
                 }
             }
         }
     }
-    MatrixResult {
-        cells,
-        spec: spec.clone(),
+
+    let campaign = cell_hash(&campaign_id(spec));
+    let mut completed: Vec<Option<MatrixCell>> = vec![None; tasks.len()];
+    let mut resumed = 0usize;
+    let journal = match &cfg.journal {
+        Some(path) => match Journal::open(path, campaign, cfg.resume) {
+            Ok((journal, records)) => {
+                if !records.is_empty() {
+                    let index_of: HashMap<String, usize> =
+                        tasks.iter().enumerate().map(|(i, t)| (t.id(), i)).collect();
+                    for record in &records {
+                        if let (Some(&i), Some(cell)) = (
+                            index_of.get(&record.id),
+                            MatrixCell::from_json(&record.result),
+                        ) {
+                            if completed[i].is_none() {
+                                resumed += 1;
+                            }
+                            completed[i] = Some(cell);
+                        }
+                    }
+                }
+                Some(journal)
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open journal {}: {e} (running without checkpoints)",
+                    path.display()
+                );
+                None
+            }
+        },
+        None => None,
+    };
+
+    let pending_indices: Vec<usize> = (0..tasks.len())
+        .filter(|&i| completed[i].is_none())
+        .collect();
+    let pending: Vec<&MatrixTask> = pending_indices.iter().map(|&i| &tasks[i]).collect();
+    let checkpoint = |_: usize, id: &str, cell: &MatrixCell| {
+        if let Some(j) = &journal {
+            if let Err(e) = j.append(id, &cell.to_json()) {
+                eprintln!("warning: journal append failed for {id}: {e}");
+            }
+        }
+    };
+    let outcome = Pool::with_jobs(cfg.jobs.max(1)).run(&pending, Some(&checkpoint));
+    outcome.record(telemetry, resumed as u64);
+    let mut failures = Vec::new();
+    for f in outcome.failures {
+        failures.push(CellFailure {
+            index: pending_indices[f.index],
+            ..f
+        });
     }
+    for (slot, result) in pending_indices.iter().zip(outcome.results) {
+        completed[*slot] = result;
+    }
+
+    // Deterministic reduction: canonical enumeration order, events at
+    // reduction time (bit-identical to the historical serial stream).
+    let mut cells = Vec::with_capacity(tasks.len());
+    for cell in completed.into_iter().flatten() {
+        telemetry.event(
+            0,
+            names::EV_ATTACK_CELL,
+            &[
+                ("strategy", Json::from(cell.strategy.as_str())),
+                ("schedule", Json::from(cell.schedule.as_str())),
+                ("mitigator", Json::from(cell.mitigator)),
+                ("seed", Json::from(cell.seed)),
+                ("trials", Json::from(cell.trials)),
+                ("successes", Json::from(cell.successes)),
+                ("success", Json::from(cell.successes > 0)),
+                ("max_row_acts", Json::from(cell.max_row_acts)),
+                ("bound", Json::from(cell.bound)),
+            ],
+        );
+        cells.push(cell);
+    }
+    if let Some(journal) = journal {
+        if failures.is_empty() {
+            if let Err(e) = journal.finalize() {
+                eprintln!("warning: cannot remove finished journal: {e}");
+            }
+        }
+        // Degraded: the journal stays on disk; `--resume` replays its
+        // completed cells and retries only the failures.
+    }
+    MatrixOutcome {
+        result: MatrixResult {
+            cells,
+            spec: spec.clone(),
+        },
+        failures,
+        resumed,
+    }
+}
+
+/// What one Monte-Carlo trial reports back to the cell reduction.
+struct TrialOutcome {
+    strategy_label: String,
+    schedule_label: String,
+    bound: u32,
+    success: bool,
+    max_row_acts: u32,
+    total_acts: u64,
+    alerts: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -351,17 +604,14 @@ fn run_cell(
     seed: u64,
     refs: u64,
 ) -> MatrixCell {
-    let mut successes = 0u32;
-    let mut max_row_acts = 0u32;
-    let mut total_acts = 0u64;
-    let mut alerts = 0u64;
-    let mut bound = 0u32;
-    let mut strategy_label = String::new();
-    let mut schedule_label = String::new();
-    for trial in 0..spec.trials {
-        let trial_seed = seed.wrapping_mul(1_000).wrapping_add(u64::from(trial));
+    // The rig's Monte-Carlo sweep runs the trials inline (jobs = 1): the
+    // matrix already parallelizes at cell granularity, so nesting worker
+    // pools would only fight over the same cores.
+    let trial_seeds: Vec<u64> = (0..spec.trials)
+        .map(|trial| seed.wrapping_mul(1_000).wrapping_add(u64::from(trial)))
+        .collect();
+    let trials = monte_carlo(&trial_seeds, 1, |trial_seed| {
         let (mut mitigator, cell_bound) = mit.build(&spec.scale, geom, trial_seed);
-        bound = cell_bound;
         // Strategies address rows through the mitigator's own mapping when
         // it exposes one (MIRZA randomizes R2SA), else the plain geometry.
         let mapping = mitigator
@@ -371,8 +621,8 @@ fn run_cell(
         let regions = RegionMap::new(geom.rows_per_bank, regions_per_bank);
         let mut strategy = strat.build(&mapping, &regions, trial_seed);
         let mut schedule = sched.build();
-        strategy_label = strategy.label();
-        schedule_label = schedule.label();
+        let strategy_label = strategy.label();
+        let schedule_label = schedule.label();
         let targets = strategy.target_rows();
         let report = if targets.is_empty() {
             run_attack(
@@ -399,25 +649,38 @@ fn run_cell(
                 refs,
             )
         };
-        if report.success {
-            successes += 1;
+        TrialOutcome {
+            strategy_label,
+            schedule_label,
+            bound: report.bound,
+            success: report.success,
+            max_row_acts: report.max_row_acts,
+            total_acts: report.outcome.total_acts,
+            alerts: report.outcome.alerts,
         }
-        max_row_acts = max_row_acts.max(report.max_row_acts);
-        total_acts += report.outcome.total_acts;
-        alerts += report.outcome.alerts;
-    }
-    MatrixCell {
-        strategy: strategy_label,
-        schedule: schedule_label,
+    });
+    let mut cell = MatrixCell {
+        strategy: String::new(),
+        schedule: String::new(),
         mitigator: mit.label(),
         seed,
         trials: spec.trials,
-        successes,
-        max_row_acts,
-        bound,
-        total_acts,
-        alerts,
+        successes: 0,
+        max_row_acts: 0,
+        bound: 0,
+        total_acts: 0,
+        alerts: 0,
+    };
+    for t in trials {
+        cell.strategy = t.strategy_label;
+        cell.schedule = t.schedule_label;
+        cell.bound = t.bound;
+        cell.successes += u32::from(t.success);
+        cell.max_row_acts = cell.max_row_acts.max(t.max_row_acts);
+        cell.total_acts += t.total_acts;
+        cell.alerts += t.alerts;
     }
+    cell
 }
 
 impl MatrixResult {
@@ -492,25 +755,7 @@ impl MatrixResult {
     /// JSON summary for run manifests.
     pub fn to_json(&self) -> Json {
         let mut doc = Json::obj();
-        let cells: Vec<Json> = self
-            .cells
-            .iter()
-            .map(|c| {
-                let mut j = Json::obj();
-                j.push("strategy", c.strategy.as_str())
-                    .push("schedule", c.schedule.as_str())
-                    .push("mitigator", c.mitigator)
-                    .push("seed", c.seed)
-                    .push("trials", c.trials)
-                    .push("successes", c.successes)
-                    .push("success_prob", c.success_prob())
-                    .push("max_row_acts", c.max_row_acts)
-                    .push("bound", c.bound)
-                    .push("total_acts", c.total_acts)
-                    .push("alerts", c.alerts);
-                j
-            })
-            .collect();
+        let cells: Vec<Json> = self.cells.iter().map(MatrixCell::to_json).collect();
         doc.push("scale", self.spec.scale.to_json())
             .push("cells", cells);
         doc

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro <experiment|all|PATH.trace> [--smoke|--fast|--full] [--seed N]
-//!       [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR]
-//!       [--audit] [--strict-audit] [--compare BASELINE.json]
-//!       [--faults PLAN] [--watchdog SECS] [--trace-chrome FILE]
-//!       [--opportunity] [--legacy-loop] [--out FILE] [--repeats N]
-//!       [--warmup N] [--list] [--quiet]
+//!       [--jobs N] [--resume] [--csv FILE] [--json FILE] [--epochs NS]
+//!       [--epoch-dir DIR] [--audit] [--strict-audit]
+//!       [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS]
+//!       [--trace-chrome FILE] [--opportunity] [--legacy-loop] [--out FILE]
+//!       [--repeats N] [--warmup N] [--list] [--quiet]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6 table7 table8 table9
@@ -59,13 +59,26 @@
 //! loop instead of the next-event core — an escape hatch for bisecting;
 //! the two are bit-identical by contract (`sim/tests/event_core.rs`).
 //!
+//! Parallelism: `--jobs N` runs independent simulation/matrix cells on the
+//! supervised work-pool (default: `available_parallelism`; `--jobs 1`
+//! forces the serial path). Output is bit-identical at any job count —
+//! results merge into canonical enumeration order before anything is
+//! written. The attack matrix checkpoints each completed cell into
+//! `<csv>.journal.jsonl` (fsync'd); after a crash or kill, `--resume`
+//! replays the journal's completed cells and schedules only the remainder,
+//! and the journal is deleted on a fully-successful run. Cells that still
+//! fail after the pool's bounded retry degrade the campaign: partial
+//! outputs are written, the failures are listed (and recorded in the
+//! manifest `failures` section), and the process exits 7.
+//!
 //! Exit codes mirror `SimError`: 0 success, 1 usage/comparison failure,
-//! 2 unknown workload, 3 trace parse, 4 config, 5 I/O, 6 watchdog.
+//! 2 unknown workload, 3 trace parse, 4 config, 5 I/O, 6 watchdog,
+//! 7 cell panic / degraded parallel campaign.
 
 use std::process::ExitCode;
 
 use mirza_bench::analytic;
-use mirza_bench::attack_matrix::{run_matrix, MatrixSpec};
+use mirza_bench::attack_matrix::{run_matrix_supervised, MatrixRunConfig, MatrixSpec};
 use mirza_bench::attacks_exp;
 use mirza_bench::attribution::run_attribution;
 use mirza_bench::compare::compare_manifests;
@@ -145,7 +158,7 @@ fn usage() -> ExitCode {
          [--seed N] [--csv FILE] [--json FILE] [--epochs NS] [--epoch-dir DIR] [--audit] \
          [--strict-audit] [--compare BASELINE.json] [--faults PLAN] [--watchdog SECS] \
          [--trace-chrome FILE] [--opportunity] [--legacy-loop] [--out FILE] [--repeats N] \
-         [--warmup N] [--list] [--quiet]\n\
+         [--warmup N] [--jobs N] [--resume] [--list] [--quiet]\n\
          experiments: {} {} {} {} {} {} watchdog-demo\n\
          fault plans: {} (tunable as name:key=value,...)",
         ANALYTIC_EXPERIMENTS.join(" "),
@@ -202,19 +215,33 @@ fn watchdog_demo(scale: Scale) -> ExitCode {
     }
 }
 
-/// Runs the strategy x schedule x mitigator sweep. Writes the per-cell
-/// CSV (default `results/attack_matrix.csv`, `--csv` overrides), a JSONL
-/// `attack_cell` event stream next to it, and — with `--json` — a
-/// manifest-style summary. Fully deterministic for a fixed `--seed`.
+/// Runs the strategy x schedule x mitigator sweep on the supervised
+/// work-pool. Writes the per-cell CSV (default
+/// `results/attack_matrix.csv`, `--csv` overrides), a JSONL `attack_cell`
+/// event stream next to it, and — with `--json` — a manifest-style
+/// summary. Fully deterministic for a fixed `--seed` at any `--jobs`
+/// count. Every completed cell is checkpointed into a journal next to the
+/// CSV; `--resume` replays it after a crash. A campaign with cells that
+/// still fail after retry writes partial outputs, keeps the journal for
+/// `--resume`, and exits 7.
 fn attack_matrix_cmd(
     scale: Scale,
     csv: Option<std::path::PathBuf>,
     json: Option<std::path::PathBuf>,
+    jobs: usize,
+    resume: bool,
     verbose: bool,
 ) -> ExitCode {
     let spec = MatrixSpec::for_scale(scale);
     let csv_path = csv.unwrap_or_else(|| std::path::PathBuf::from("results/attack_matrix.csv"));
     let events_path = csv_path.with_file_name("attack_events.jsonl");
+    let journal_path = csv_path.with_file_name(format!(
+        "{}.journal.jsonl",
+        csv_path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "attack_matrix".to_string())
+    ));
     if let Some(dir) = csv_path.parent().filter(|d| !d.as_os_str().is_empty()) {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create {}: {e}", dir.display());
@@ -231,7 +258,13 @@ fn attack_matrix_cmd(
     let telemetry = Telemetry::enabled().with_events(EventSink::new(Box::new(
         std::io::BufWriter::new(events_file),
     )));
-    let result = run_matrix(&spec, &telemetry);
+    let run_cfg = MatrixRunConfig {
+        jobs,
+        journal: Some(journal_path.clone()),
+        resume,
+    };
+    let outcome = run_matrix_supervised(&spec, &telemetry, &run_cfg);
+    let result = &outcome.result;
     if let Err(e) = std::fs::write(&csv_path, result.to_csv()) {
         eprintln!("error: cannot write {}: {e}", csv_path.display());
         return ExitCode::FAILURE;
@@ -250,6 +283,32 @@ fn attack_matrix_cmd(
             result.cells.len(),
             events_path.display()
         );
+        if outcome.resumed > 0 {
+            eprintln!(
+                "resumed {} completed cell(s) from {}",
+                outcome.resumed,
+                journal_path.display()
+            );
+        }
+    }
+    if !outcome.complete() {
+        eprintln!(
+            "error: {} cell(s) failed after retry; partial outputs written, \
+             journal kept at {} (rerun with --resume):",
+            outcome.failures.len(),
+            journal_path.display()
+        );
+        for f in &outcome.failures {
+            eprintln!("  {} ({} attempt(s)): {}", f.id, f.attempts, f.error);
+        }
+        // Exit with the CellPanic code: the campaign is degraded, not dead.
+        return ExitCode::from(
+            SimError::CellPanic {
+                cell: String::new(),
+                payload: String::new(),
+            }
+            .exit_code(),
+        );
     }
     ExitCode::SUCCESS
 }
@@ -264,6 +323,7 @@ fn attribution_cmd(
     csv: Option<std::path::PathBuf>,
     json: Option<std::path::PathBuf>,
     trace_chrome: Option<std::path::PathBuf>,
+    jobs: usize,
     verbose: bool,
 ) -> ExitCode {
     let csv_path = csv.unwrap_or_else(|| std::path::PathBuf::from("results/attribution.csv"));
@@ -275,6 +335,7 @@ fn attribution_cmd(
     }
     let mut lab = Lab::new(scale);
     lab.verbose = verbose;
+    lab.jobs = jobs;
     lab.attribution = true;
     lab.trace_chrome = trace_chrome;
     let result = run_attribution(&mut lab);
@@ -302,10 +363,12 @@ fn perfbench_cmd(
     out: Option<std::path::PathBuf>,
     warmup: Option<u64>,
     repeats: Option<u64>,
+    jobs: usize,
     verbose: bool,
 ) -> ExitCode {
     let mut bench = PerfBench::new(scale);
     bench.verbose = verbose;
+    bench.jobs = jobs;
     if let Some(w) = warmup {
         bench.warmup = w;
     }
@@ -392,6 +455,8 @@ fn main() -> ExitCode {
     let mut out: Option<std::path::PathBuf> = None;
     let mut repeats: Option<u64> = None;
     let mut warmup: Option<u64> = None;
+    let mut jobs: usize = mirza_runner::default_jobs();
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -409,6 +474,11 @@ fn main() -> ExitCode {
                 Some(n) => warmup = Some(n),
                 None => return usage(),
             },
+            "--jobs" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = n,
+                _ => return usage(),
+            },
+            "--resume" => resume = true,
             "--faults" => match it.next() {
                 Some(p) => faults = Some(p.clone()),
                 None => return usage(),
@@ -476,13 +546,13 @@ fn main() -> ExitCode {
         return watchdog_demo(scale);
     }
     if target == "attack-matrix" {
-        return attack_matrix_cmd(scale, csv, json, verbose);
+        return attack_matrix_cmd(scale, csv, json, jobs, resume, verbose);
     }
     if target == "attribution" {
-        return attribution_cmd(scale, csv, json, trace_chrome, verbose);
+        return attribution_cmd(scale, csv, json, trace_chrome, jobs, verbose);
     }
     if target == "perfbench" {
-        return perfbench_cmd(scale, out, warmup, repeats, verbose);
+        return perfbench_cmd(scale, out, warmup, repeats, jobs, verbose);
     }
     if target == "trajectory" {
         return trajectory_cmd();
@@ -491,6 +561,7 @@ fn main() -> ExitCode {
         return report_cmd(out, verbose);
     }
     let mut lab = Lab::new(scale);
+    lab.jobs = jobs;
     lab.opportunity = opportunity;
     lab.legacy_loop = legacy_loop;
     lab.fault_plan = fault_plan;
@@ -526,6 +597,12 @@ fn main() -> ExitCode {
     };
     for name in names {
         lab.begin_experiment(name);
+        // Warm the cells this driver will request on the work pool; the
+        // driver then replays them in its natural (serial) order so the
+        // manifest and CSV stay bit-identical to `--jobs 1`. A no-op for
+        // analytic experiments and at `--jobs 1`.
+        let planned = experiments::planned_runs(name, &lab);
+        lab.prewarm(&planned);
         match run_experiment(name, &mut lab) {
             Some(table) => {
                 println!("{table}");

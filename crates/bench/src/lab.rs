@@ -1,17 +1,31 @@
 //! Run cache: experiments share simulation runs (the baseline run of each
 //! workload backs every slowdown column), so the lab memoizes reports by
 //! (mitigation label, workload).
+//!
+//! With `jobs > 1` the lab also fronts the supervised work-pool
+//! (`mirza-runner`): [`Lab::prewarm`] executes a set of (mitigation,
+//! workload) cells on worker threads and parks the finished runs in a
+//! pending map. The experiment drivers stay serial and call [`Lab::run`]
+//! in their natural order; a pending hit replays the parked run through
+//! the exact serial bookkeeping sequence (audit warnings, epoch streams,
+//! manifest record, CSV append, cache insert), so manifests and CSVs are
+//! bit-identical to a `jobs = 1` run in their gated sections regardless of
+//! worker completion order. Prewarming a pair no driver ever asks for
+//! wastes compute but cannot alter any output.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use mirza_core::config::MirzaConfig;
 use mirza_core::rct::ResetPolicy;
+use mirza_runner::{scale_wall_budget, Cell, CellFailure, Pool};
 use mirza_sim::config::{MitigationConfig, SimConfig};
 use mirza_sim::faults::{FaultInjector, FaultPlan};
 use mirza_sim::report::SimReport;
 use mirza_sim::runner::try_run_workload_with;
 use mirza_sim::SimError;
-use mirza_telemetry::{names, ChromeTraceSink, EpochSampler, Json, SpanCollector, Telemetry};
+use mirza_telemetry::{
+    names, progress, ChromeTraceSink, EpochSampler, Json, SpanCollector, Telemetry,
+};
 
 use crate::scale::Scale;
 
@@ -60,6 +74,125 @@ pub struct Lab {
     /// Where the manifest will be written; a fatal error flushes the
     /// partial document here before exiting.
     pub manifest_path: Option<std::path::PathBuf>,
+    /// Worker threads for [`Lab::prewarm`] campaigns (1 = fully serial;
+    /// the CLI stamps `--jobs` here). Any value preserves serial output:
+    /// see the module docs.
+    pub jobs: usize,
+    /// Completed parallel runs awaiting their serial-order replay.
+    prewarmed: HashMap<String, PrewarmedRun>,
+    /// Cells that failed in the pool after supervision. The serial pass
+    /// re-attempts each on demand; persistent errors still end in
+    /// [`Lab::fatal`] with the underlying error's exit code, and the
+    /// manifest carries this list as a top-level `failures` section.
+    prewarm_failures: Vec<CellFailure>,
+    /// Aggregate pool statistics across prewarm campaigns (manifest
+    /// top-level `runner` section; absent when no pool ever ran).
+    runner_stats: Option<RunnerStats>,
+}
+
+/// Pool rollup stamped into the manifest (top level, like `provenance`,
+/// so neither gate ever diffs it).
+#[derive(Debug, Default, Clone)]
+struct RunnerStats {
+    campaigns: u64,
+    cells: u64,
+    retries: u64,
+    failures: u64,
+    wall_secs: f64,
+    per_worker: Vec<u64>,
+}
+
+impl RunnerStats {
+    fn absorb<T>(&mut self, outcome: &mirza_runner::Outcome<T>) {
+        self.campaigns += 1;
+        self.cells += outcome.results.len() as u64;
+        self.retries += outcome.retries;
+        self.failures += outcome.failures.len() as u64;
+        self.wall_secs += outcome.wall.as_secs_f64();
+        if self.per_worker.len() < outcome.per_worker.len() {
+            self.per_worker.resize(outcome.per_worker.len(), 0);
+        }
+        for (slot, cells) in outcome.per_worker.iter().enumerate() {
+            self.per_worker[slot] += cells;
+        }
+    }
+
+    fn to_json(&self, jobs: usize) -> Json {
+        let mut doc = Json::obj();
+        doc.push("jobs", jobs as u64)
+            .push("campaigns", self.campaigns)
+            .push("cells", self.cells)
+            .push("retries", self.retries)
+            .push("failures", self.failures)
+            .push("wall_secs", self.wall_secs)
+            .push(
+                "per_worker",
+                Json::Arr(self.per_worker.iter().map(|&c| Json::U64(c)).collect()),
+            );
+        doc
+    }
+}
+
+/// Everything a worker needs to execute one (mitigation, workload) cell —
+/// plain data, shareable across threads.
+struct LabCellSpec {
+    key: String,
+    label: String,
+    workload: String,
+    cfg: SimConfig,
+    manifest_on: bool,
+    epoch_ps: Option<u64>,
+    opportunity: bool,
+    spanning: bool,
+    chrome_path: Option<std::path::PathBuf>,
+    fault_plan: Option<FaultPlan>,
+    verbose: bool,
+}
+
+/// A completed run carried from a worker back to the serial replay: the
+/// report plus every manifest section precomputed, so the replay touches
+/// no telemetry and stays byte-deterministic.
+struct PrewarmedRun {
+    label: String,
+    workload: String,
+    cfg: SimConfig,
+    report: SimReport,
+    sections: RunSections,
+    violations: u64,
+    epochs_jsonl: Option<String>,
+}
+
+/// The optional per-run manifest sections, gathered while the run's
+/// telemetry is still live (worker-side for pooled runs, inline for
+/// serial ones).
+struct RunSections {
+    telemetry: Json,
+    epochs: Option<Json>,
+    host_profile: Option<Json>,
+    audit_violations: Option<u64>,
+    faults: Option<Json>,
+    verdict: Option<Json>,
+    opportunity: Option<Json>,
+}
+
+/// [`Cell`] adapter for the pool.
+struct LabCell {
+    spec: LabCellSpec,
+}
+
+impl Cell for LabCell {
+    type Out = PrewarmedRun;
+
+    fn id(&self) -> String {
+        self.spec.key.clone()
+    }
+
+    fn run(&self) -> Result<PrewarmedRun, SimError> {
+        // Partial epoch streams of failed cells are dropped here; the
+        // serial retry regenerates (and on a persistent error, flushes)
+        // them via `Lab::fatal`.
+        Lab::execute_spec(&self.spec).map_err(|(err, _epochs)| err)
+    }
 }
 
 impl Lab {
@@ -83,6 +216,10 @@ impl Lab {
             opportunity: false,
             trace_chrome: None,
             legacy_loop: false,
+            jobs: 1,
+            prewarmed: HashMap::new(),
+            prewarm_failures: Vec::new(),
+            runner_stats: None,
         }
     }
 
@@ -103,30 +240,39 @@ impl Lab {
         }
     }
 
+    /// Gathers every optional manifest section from a run's live
+    /// telemetry. Each is attached only when its collector ran, so
+    /// probe-off manifests stay byte-compatible with earlier versions.
+    /// Static (no `&self`) so pool workers can call it for prewarmed runs.
+    fn collect_sections(
+        opportunity_on: bool,
+        cfg: &SimConfig,
+        telemetry: &Telemetry,
+        injector: Option<&FaultInjector>,
+    ) -> RunSections {
+        RunSections {
+            telemetry: telemetry.to_json().unwrap_or(Json::Null),
+            epochs: telemetry.epochs_summary_json(),
+            host_profile: telemetry.profile_json(),
+            audit_violations: cfg
+                .audit
+                .then(|| telemetry.counter(names::AUDIT_VIOLATIONS)),
+            faults: injector.map(FaultInjector::summary_json),
+            verdict: injector
+                .is_some()
+                .then(|| Self::security_verdict(cfg, telemetry)),
+            opportunity: opportunity_on.then(|| Self::opportunity_summary(telemetry)),
+        }
+    }
+
     fn record_run(
         &mut self,
         label: &str,
         workload: &str,
         cfg: &SimConfig,
         report: &SimReport,
-        telemetry: &Telemetry,
-        injector: Option<&FaultInjector>,
+        sections: RunSections,
     ) {
-        // Probe sections are gathered before the manifest borrow; each is
-        // attached only when its collector ran, so probe-off manifests stay
-        // byte-compatible with earlier versions.
-        let epochs = telemetry.epochs_summary_json();
-        let host_profile = telemetry.profile_json();
-        let audit_violations = cfg
-            .audit
-            .then(|| telemetry.counter(names::AUDIT_VIOLATIONS));
-        let faults = injector.map(FaultInjector::summary_json);
-        let verdict = injector
-            .is_some()
-            .then(|| Self::security_verdict(cfg, telemetry));
-        let opportunity = self
-            .opportunity
-            .then(|| Self::opportunity_summary(telemetry));
         let Some(groups) = &mut self.manifest else {
             return;
         };
@@ -138,23 +284,23 @@ impl Lab {
             .push("workload", workload)
             .push("config", cfg.to_json())
             .push("report", report.to_json())
-            .push("telemetry", telemetry.to_json().unwrap_or(Json::Null));
-        if let Some(e) = epochs {
+            .push("telemetry", sections.telemetry);
+        if let Some(e) = sections.epochs {
             run.push("epochs", e);
         }
-        if let Some(h) = host_profile {
+        if let Some(h) = sections.host_profile {
             run.push("host_profile", h);
         }
-        if let Some(v) = audit_violations {
+        if let Some(v) = sections.audit_violations {
             run.push("audit_violations", v);
         }
-        if let Some(f) = faults {
+        if let Some(f) = sections.faults {
             run.push("faults", f);
         }
-        if let Some(v) = verdict {
+        if let Some(v) = sections.verdict {
             run.push("security_verdict", v);
         }
-        if let Some(o) = opportunity {
+        if let Some(o) = sections.opportunity {
             run.push("opportunity", o);
         }
         groups
@@ -259,8 +405,28 @@ impl Lab {
             .push("seed", self.scale.seed)
             // Top-level only: both gates (compare.rs, bench_gate.py) key on
             // scale/seed/runs, so provenance never trips a regression diff.
-            .push("provenance", crate::provenance::to_json())
+            .push(
+                "provenance",
+                crate::provenance::to_json_with_jobs(self.jobs),
+            )
             .push("experiments", experiments);
+        if let Some(stats) = &self.runner_stats {
+            doc.push("runner", stats.to_json(self.jobs));
+        }
+        if !self.prewarm_failures.is_empty() {
+            let failures: Vec<Json> = self
+                .prewarm_failures
+                .iter()
+                .map(|f| {
+                    let mut j = Json::obj();
+                    j.push("cell", f.id.as_str())
+                        .push("attempts", u64::from(f.attempts))
+                        .push("error", f.error.to_string());
+                    j
+                })
+                .collect();
+            doc.push("failures", Json::Arr(failures));
+        }
         Some(doc)
     }
 
@@ -337,86 +503,209 @@ impl Lab {
 
     /// Runs (or recalls) `workload` under `mitigation`. Probe collectors
     /// (epoch sampler, host profiler, protocol auditor) attach only to
-    /// fresh simulations — cache recalls return the memoized report.
+    /// fresh simulations — cache recalls return the memoized report, and a
+    /// [`Lab::prewarm`]-completed run replays its parked result through
+    /// the same serial bookkeeping a fresh run would perform.
     pub fn run(&mut self, mitigation: MitigationConfig, workload: &str) -> SimReport {
         let key = format!("{}/{workload}", mitigation.label());
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
-        if self.verbose {
-            eprintln!("  running {key} ...");
+        if let Some(p) = self.prewarmed.remove(&key) {
+            return self.replay(key, p);
         }
+        let spec = self.cell_spec(mitigation, workload, key.clone());
+        match Self::execute_spec(&spec) {
+            Ok(p) => self.replay(key, p),
+            Err((err, epochs_jsonl)) => self.fatal(&key, epochs_jsonl.as_deref(), &err),
+        }
+    }
+
+    /// Builds the plain-data execution spec for one cell. The wall-clock
+    /// watchdog budget scales with the active job count so oversubscribed
+    /// hosts don't trip spurious aborts; the simulated-time idle budget is
+    /// per-cell and deliberately unscaled.
+    fn cell_spec(&self, mitigation: MitigationConfig, workload: &str, key: String) -> LabCellSpec {
         let mut cfg = self.scale.sim_config(mitigation);
         cfg.heartbeat_every = self.heartbeat_every;
         // Fault injection arms the auditor (and its per-row ACT census) so
         // the security verdict has shadow state to compare against.
         cfg.audit = self.audit || self.fault_plan.is_some();
         cfg.track_row_acts = self.fault_plan.is_some();
-        cfg.watchdog_wall = self.watchdog_wall_secs.map(std::time::Duration::from_secs);
+        cfg.watchdog_wall = self
+            .watchdog_wall_secs
+            .map(|s| scale_wall_budget(std::time::Duration::from_secs(s), self.jobs));
         cfg.legacy_loop = self.legacy_loop;
-        let probing = self.epoch_ps.is_some() || cfg.audit;
-        let spanning = self.attribution || self.trace_chrome.is_some();
-        let mut telemetry = if self.manifest.is_some() || probing || spanning || self.opportunity {
+        LabCellSpec {
+            label: mitigation.label(),
+            workload: workload.to_string(),
+            cfg,
+            manifest_on: self.manifest.is_some(),
+            epoch_ps: self.epoch_ps,
+            opportunity: self.opportunity,
+            spanning: self.attribution || self.trace_chrome.is_some(),
+            chrome_path: self.chrome_path(&key),
+            fault_plan: self.fault_plan.clone(),
+            verbose: self.verbose,
+            key,
+        }
+    }
+
+    /// Executes one cell: telemetry session, optional fault injector, the
+    /// simulation itself, and the section gathering — everything that
+    /// needs the run's live telemetry. Runs on the caller thread for
+    /// serial cells and on pool workers for prewarmed ones (each worker
+    /// builds its own `Telemetry`; the handle is single-threaded by
+    /// design and never crosses). On error, any partial epoch stream rides
+    /// along so the fatal path can still flush it.
+    fn execute_spec(spec: &LabCellSpec) -> Result<PrewarmedRun, (SimError, Option<String>)> {
+        if spec.verbose {
+            progress::line(&format!("  running {} ...", spec.key));
+        }
+        let probing = spec.epoch_ps.is_some() || spec.cfg.audit;
+        let mut telemetry = if spec.manifest_on || probing || spec.spanning || spec.opportunity {
             Telemetry::enabled()
         } else {
             Telemetry::disabled()
         };
-        if self.opportunity {
+        if spec.opportunity {
             telemetry = telemetry.with_opportunity();
         }
-        if let Some(ps) = self.epoch_ps {
+        if let Some(ps) = spec.epoch_ps {
             telemetry = telemetry.with_epochs(EpochSampler::new(ps));
         }
-        if self.manifest.is_some() {
+        if spec.manifest_on {
             telemetry = telemetry.with_profiler();
         }
-        if spanning {
+        if spec.spanning {
             let mut spans = SpanCollector::new();
-            if let Some(sink) = self.chrome_sink(&key) {
+            if let Some(sink) = Self::open_chrome(spec.chrome_path.as_deref(), spec.verbose) {
                 spans = spans.with_chrome(sink);
             }
             telemetry = telemetry.with_spans(spans);
         }
-        let injector = self
+        let injector = spec
             .fault_plan
             .clone()
             .map(|plan| FaultInjector::new(plan, telemetry.clone()));
-        let report =
-            match try_run_workload_with(&cfg, workload, telemetry.clone(), injector.as_ref()) {
-                Ok(r) => r,
-                Err(err) => self.fatal(&key, &telemetry, &err),
-            };
-        if cfg.audit {
-            let violations = telemetry.counter(names::AUDIT_VIOLATIONS);
-            if violations > 0 {
-                eprintln!("warning: {key}: {violations} protocol violation(s) flagged");
-                self.audit_failures.push((key.clone(), violations));
-            }
-        }
-        self.write_epoch_stream(&key, &telemetry);
-        self.record_run(
-            &mitigation.label(),
-            workload,
-            &cfg,
-            &report,
-            &telemetry,
+        let report = match try_run_workload_with(
+            &spec.cfg,
+            &spec.workload,
+            telemetry.clone(),
             injector.as_ref(),
-        );
+        ) {
+            Ok(r) => r,
+            Err(err) => {
+                let epochs = telemetry.epochs_jsonl();
+                telemetry.flush();
+                return Err((err, epochs));
+            }
+        };
+        let violations = if spec.cfg.audit {
+            telemetry.counter(names::AUDIT_VIOLATIONS)
+        } else {
+            0
+        };
+        let sections =
+            Self::collect_sections(spec.opportunity, &spec.cfg, &telemetry, injector.as_ref());
+        let epochs_jsonl = telemetry.epochs_jsonl();
+        telemetry.flush();
+        Ok(PrewarmedRun {
+            label: spec.label.clone(),
+            workload: spec.workload.clone(),
+            cfg: spec.cfg.clone(),
+            report,
+            sections,
+            violations,
+            epochs_jsonl,
+        })
+    }
+
+    /// The serial bookkeeping tail every completed run goes through, in
+    /// the exact order the pre-pool serial path used: audit warning,
+    /// epoch stream, manifest record, CSV append, cache insert. Pooled
+    /// runs pass through here at `Lab::run` time, which is what pins
+    /// manifest grouping and CSV row order to the drivers' call order.
+    fn replay(&mut self, key: String, p: PrewarmedRun) -> SimReport {
+        if p.violations > 0 {
+            eprintln!(
+                "warning: {key}: {} protocol violation(s) flagged",
+                p.violations
+            );
+            self.audit_failures.push((key.clone(), p.violations));
+        }
+        if let Some(jsonl) = &p.epochs_jsonl {
+            self.write_epoch_jsonl(&key, jsonl);
+        }
+        let PrewarmedRun {
+            label,
+            workload,
+            cfg,
+            report,
+            sections,
+            ..
+        } = p;
+        self.record_run(&label, &workload, &cfg, &report, sections);
         self.append_csv(&report);
         self.cache.insert(key, report.clone());
         report
     }
 
+    /// Runs the given (mitigation, workload) cells on the supervised pool
+    /// and parks the results for later [`Lab::run`] replay. No-op at
+    /// `jobs <= 1` (the serial path stays byte-for-byte untouched) and for
+    /// pairs already cached, parked, or duplicated in `pairs`. Cells that
+    /// fail after supervision are recorded in the manifest `failures`
+    /// section and retried serially when (and if) a driver asks for them.
+    pub fn prewarm(&mut self, pairs: &[(MitigationConfig, &'static str)]) {
+        if self.jobs <= 1 {
+            return;
+        }
+        let mut seen = HashSet::new();
+        let mut cells = Vec::new();
+        for &(mitigation, workload) in pairs {
+            let key = format!("{}/{workload}", mitigation.label());
+            if self.cache.contains_key(&key)
+                || self.prewarmed.contains_key(&key)
+                || !seen.insert(key.clone())
+            {
+                continue;
+            }
+            cells.push(LabCell {
+                spec: self.cell_spec(mitigation, workload, key),
+            });
+        }
+        if cells.is_empty() {
+            return;
+        }
+        let outcome = Pool::with_jobs(self.jobs).run(&cells, None);
+        self.runner_stats
+            .get_or_insert_with(RunnerStats::default)
+            .absorb(&outcome);
+        for (cell, result) in cells.iter().zip(outcome.results) {
+            if let Some(p) = result {
+                self.prewarmed.insert(cell.spec.key.clone(), p);
+            }
+        }
+        for f in &outcome.failures {
+            eprintln!(
+                "warning: cell {} failed after {} attempt(s): {} (will retry serially on demand)",
+                f.id, f.attempts, f.error
+            );
+        }
+        self.prewarm_failures.extend(outcome.failures);
+    }
+
     /// Terminal error path: flush what the run produced (epoch stream,
     /// partial manifest) so a crashed sweep still leaves evidence on disk,
-    /// then exit with the error's dedicated code. Never returns.
-    fn fatal(&self, key: &str, telemetry: &Telemetry, err: &SimError) -> ! {
+    /// then exit with the error's dedicated code. Never returns. Sinks
+    /// were already flushed inside [`Lab::execute_spec`] before the error
+    /// propagated here; only the lab-level artifacts remain.
+    fn fatal(&self, key: &str, epochs_jsonl: Option<&str>, err: &SimError) -> ! {
         eprintln!("error: {err}");
-        // `process::exit` skips destructors, so buffered sinks (command
-        // trace, chrome trace) would silently lose their tails without an
-        // explicit flush here.
-        telemetry.flush();
-        self.write_epoch_stream(key, telemetry);
+        if let Some(jsonl) = epochs_jsonl {
+            self.write_epoch_jsonl(key, jsonl);
+        }
         if let Some(path) = &self.manifest_path {
             if self.manifest.is_some() {
                 match self.write_manifest(path) {
@@ -434,9 +723,11 @@ impl Lab {
         &self.audit_failures
     }
 
-    /// Opens the per-run Chrome trace file derived from `trace_chrome`:
-    /// `<stem>_<label>-<workload>.<ext>` in the same directory.
-    fn chrome_sink(&self, key: &str) -> Option<ChromeTraceSink> {
+    /// Computes the per-run Chrome trace path derived from `trace_chrome`
+    /// (`<stem>_<label>-<workload>.<ext>` in the same directory) and
+    /// creates the parent. Path computation stays on the serial side so
+    /// cell specs carry a finished path; the worker only opens it.
+    fn chrome_path(&self, key: &str) -> Option<std::path::PathBuf> {
         let base = self.trace_chrome.as_ref()?;
         let sanitized: String = key
             .chars()
@@ -445,20 +736,25 @@ impl Lab {
         let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
         let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
         let name = format!("{stem}_{sanitized}.{ext}");
-        let path = match base.parent() {
+        match base.parent() {
             Some(dir) if !dir.as_os_str().is_empty() => {
                 if let Err(e) = std::fs::create_dir_all(dir) {
                     eprintln!("warning: cannot create {}: {e}", dir.display());
                     return None;
                 }
-                dir.join(name)
+                Some(dir.join(name))
             }
-            _ => std::path::PathBuf::from(name),
-        };
-        match std::fs::File::create(&path) {
+            _ => Some(std::path::PathBuf::from(name)),
+        }
+    }
+
+    /// Opens a Chrome trace sink at `path` (worker-safe: no `&self`).
+    fn open_chrome(path: Option<&std::path::Path>, verbose: bool) -> Option<ChromeTraceSink> {
+        let path = path?;
+        match std::fs::File::create(path) {
             Ok(f) => {
-                if self.verbose {
-                    eprintln!("  tracing to {}", path.display());
+                if verbose {
+                    progress::line(&format!("  tracing to {}", path.display()));
                 }
                 Some(ChromeTraceSink::new(Box::new(std::io::BufWriter::new(f))))
             }
@@ -472,10 +768,7 @@ impl Lab {
         }
     }
 
-    fn write_epoch_stream(&self, key: &str, telemetry: &Telemetry) {
-        let Some(jsonl) = telemetry.epochs_jsonl() else {
-            return;
-        };
+    fn write_epoch_jsonl(&self, key: &str, jsonl: &str) {
         let name: String = format!("epochs_{key}.jsonl")
             .chars()
             .map(|c| if c == '/' || c == ' ' { '-' } else { c })

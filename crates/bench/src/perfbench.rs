@@ -193,6 +193,11 @@ pub struct BenchDoc {
     /// Suite-wide opportunity summary from the profiled pass, `Null` if
     /// the pass was skipped.
     pub opportunity: Json,
+    /// Parallel-suite measurement (`{jobs, wall_secs, speedup_vs_serial}`)
+    /// when the harness ran with `jobs > 1`, `Null` otherwise. Informative
+    /// only: it is deliberately not a perf-gate target, so serial medians
+    /// stay comparable across hosts and job counts.
+    pub parallel: Json,
 }
 
 impl BenchDoc {
@@ -231,7 +236,8 @@ impl BenchDoc {
             )
             .push("total_wall_secs", self.total_wall_secs)
             .push("phase_breakdown", self.phase_breakdown.clone())
-            .push("opportunity", self.opportunity.clone());
+            .push("opportunity", self.opportunity.clone())
+            .push("parallel", self.parallel.clone());
         doc
     }
 
@@ -255,6 +261,7 @@ impl BenchDoc {
             total_wall_secs: v.get("total_wall_secs")?.as_f64()?,
             phase_breakdown: v.get("phase_breakdown").cloned().unwrap_or(Json::Null),
             opportunity: v.get("opportunity").cloned().unwrap_or(Json::Null),
+            parallel: v.get("parallel").cloned().unwrap_or(Json::Null),
         })
     }
 
@@ -280,6 +287,10 @@ pub struct PerfBench {
     pub repeats: u64,
     /// Skip the extra profiled pass (phase breakdown + opportunity).
     pub skip_profile: bool,
+    /// Work-pool width for the extra parallel-suite measurement; `1`
+    /// (the default) skips that pass. Timed per-target repeats are always
+    /// serial — parallel numbers land in the separate `parallel` field.
+    pub jobs: usize,
     /// Print one progress line per target.
     pub verbose: bool,
 }
@@ -293,6 +304,7 @@ impl PerfBench {
             warmup: 1,
             repeats: 3,
             skip_profile: false,
+            jobs: 1,
             verbose: false,
         }
     }
@@ -353,6 +365,26 @@ impl PerfBench {
                 opportunity_json(&tel),
             )
         };
+        // Optional parallel pass: the whole suite once on the work pool,
+        // reported as wall time + speedup over the sum of serial medians.
+        let parallel = if self.jobs > 1 {
+            if self.verbose {
+                eprintln!("  perfbench parallel pass ({} jobs) ...", self.jobs);
+            }
+            let t0 = Instant::now();
+            let _ = mirza_runner::parallel_map(&self.scale.workloads, self.jobs, |_, w| {
+                run_workload_with(&cfg, w, Telemetry::disabled())
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            let serial: f64 = targets.iter().map(|t| t.wall_secs.median).sum();
+            let mut p = Json::obj();
+            p.push("jobs", self.jobs as u64)
+                .push("wall_secs", wall)
+                .push("speedup_vs_serial", serial / wall.max(1e-12));
+            p
+        } else {
+            Json::Null
+        };
         let unix_time = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
@@ -366,6 +398,7 @@ impl PerfBench {
             total_wall_secs: started.elapsed().as_secs_f64(),
             phase_breakdown,
             opportunity,
+            parallel,
         }
     }
 }
@@ -510,6 +543,7 @@ mod tests {
             warmup: 0,
             repeats: 2,
             skip_profile: false,
+            jobs: 2,
             verbose: false,
         };
         let doc = bench.run();
@@ -533,11 +567,22 @@ mod tests {
             .and_then(|p| p.get("device"))
             .is_some());
         assert!(doc.file_name().starts_with("BENCH_"));
+        let speedup = doc
+            .parallel
+            .get("speedup_vs_serial")
+            .and_then(Json::as_f64)
+            .expect("jobs > 1 produces the parallel field");
+        assert!(speedup > 0.0);
 
         let text = doc.to_json().to_string_pretty();
         let parsed = Json::parse(&text).unwrap();
         let back = BenchDoc::from_json(&parsed).expect("round trip");
         assert_eq!(back.targets.len(), doc.targets.len());
+        assert_eq!(
+            back.parallel.get("jobs").and_then(Json::as_u64),
+            Some(2),
+            "parallel field survives the round trip"
+        );
         assert_eq!(back.targets[0].wall_secs, doc.targets[0].wall_secs);
         assert_eq!(back.unix_time, doc.unix_time);
         assert_eq!(back.git_rev(), doc.git_rev());

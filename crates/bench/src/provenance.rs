@@ -41,6 +41,19 @@ pub fn to_json() -> Json {
     p
 }
 
+/// Provenance with the active `--jobs` value stamped into the host object
+/// next to `cpus` (manifests only; `BENCH_*.json` keeps the bare
+/// fingerprint so perf-gate same-host matching is insensitive to jobs).
+pub fn to_json_with_jobs(jobs: usize) -> Json {
+    let mut host = host_fingerprint();
+    host.push("jobs", jobs as u64);
+    let mut p = Json::obj();
+    p.push("git_rev", git_rev())
+        .push("cargo_profile", cargo_profile())
+        .push("host", host);
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -174,6 +174,7 @@ mod tests {
             total_wall_secs: medians.iter().map(|(_, m)| m).sum(),
             phase_breakdown: Json::Null,
             opportunity: Json::Null,
+            parallel: Json::Null,
         }
     }
 

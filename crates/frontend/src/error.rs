@@ -17,6 +17,7 @@
 //! | 4    | bad configuration (fault plan, CLI value) |
 //! | 5    | file I/O error                            |
 //! | 6    | watchdog abort (stalled simulation)       |
+//! | 7    | cell panic / degraded parallel campaign   |
 
 use std::error::Error;
 use std::fmt;
@@ -64,6 +65,17 @@ pub enum SimError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A sweep cell panicked inside a supervised worker. The pool catches
+    /// the unwind, records this typed error against the cell, and keeps the
+    /// campaign alive; a campaign that ends with unrecovered cell failures
+    /// exits with this variant's code ("degraded", not "dead").
+    CellPanic {
+        /// Stable id of the poisoned cell.
+        cell: String,
+        /// The panic payload, stringified (`&str`/`String` payloads verbatim,
+        /// anything else an opaque marker).
+        payload: String,
+    },
 }
 
 impl SimError {
@@ -75,6 +87,7 @@ impl SimError {
             SimError::Config { .. } => 4,
             SimError::Io { .. } => 5,
             SimError::Watchdog { .. } => 6,
+            SimError::CellPanic { .. } => 7,
         }
     }
 
@@ -114,6 +127,9 @@ impl fmt::Display for SimError {
             // wrappers format this Display into their panic payload and
             // callers match on that substring.
             SimError::UnknownWorkload { name } => write!(f, "unknown workload {name}"),
+            SimError::CellPanic { cell, payload } => {
+                write!(f, "cell panic in {cell}: {payload}")
+            }
         }
     }
 }
@@ -145,6 +161,10 @@ mod tests {
                 reason: "r".into(),
                 instructions: 0,
                 sim_time_ps: 0,
+            },
+            SimError::CellPanic {
+                cell: "c".into(),
+                payload: "p".into(),
             },
         ];
         let mut codes: Vec<u8> = errs.iter().map(SimError::exit_code).collect();

@@ -326,7 +326,9 @@ impl System {
             if let Some(hb) = heartbeat.as_mut() {
                 let retired = cores.iter().map(Core::instructions).sum();
                 if let Some(line) = hb.tick(retired, t_end.as_ps()) {
-                    eprintln!("{line}");
+                    // Locked, single-write stderr line: parallel sweep
+                    // workers heartbeat concurrently without splicing.
+                    mirza_telemetry::progress::line(&line);
                 }
             }
             if sample_epochs {
@@ -515,7 +517,9 @@ impl System {
             if let Some(hb) = heartbeat.as_mut() {
                 let retired = cores.iter().map(Core::instructions).sum();
                 if let Some(line) = hb.tick(retired, t_end.as_ps()) {
-                    eprintln!("{line}");
+                    // Locked, single-write stderr line: parallel sweep
+                    // workers heartbeat concurrently without splicing.
+                    mirza_telemetry::progress::line(&line);
                 }
             }
             if sample_epochs {

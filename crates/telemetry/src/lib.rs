@@ -24,6 +24,7 @@ pub mod histogram;
 pub mod json;
 pub mod names;
 pub mod profiler;
+pub mod progress;
 pub mod registry;
 pub mod report;
 pub mod sink;
@@ -37,7 +38,7 @@ pub use json::Json;
 pub use profiler::{Phase, PhaseProfiler};
 pub use registry::Registry;
 pub use report::HtmlReport;
-pub use sink::{EventSink, SharedBuf, TraceSink};
+pub use sink::{EventSink, LockedWriter, SharedBuf, TraceSink};
 pub use spans::{AttributionSummary, BankAttribution, SpanCollector, StallBucket};
 
 use std::cell::RefCell;

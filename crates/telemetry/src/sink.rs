@@ -4,11 +4,19 @@
 //! files, stdout, or an in-memory buffer ([`SharedBuf`]) in tests. Sinks are
 //! only constructed when tracing is requested; the disabled path never
 //! allocates or formats.
+//!
+//! Concurrency contract: each sink formats a full line into one `String`
+//! and hands it to the underlying writer as a **single `write_all` call**,
+//! so a writer that is atomic per call (a [`LockedWriter`] shared between
+//! parallel sweep workers, or POSIX `O_APPEND` pipes under `PIPE_BUF`)
+//! never interleaves partial lines. The lock, when one is needed, lives in
+//! the writer — call sites stay lock-free.
 
 use crate::json::Json;
 use std::cell::RefCell;
 use std::io::Write;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Writes one JSON object per line for rare, structured events
 /// (ALERT raised/cleared, RFM issued, queue overflow, ...).
@@ -28,14 +36,17 @@ impl EventSink {
         EventSink { out }
     }
 
-    /// Emits `{"t_ps": <t>, "event": <kind>, ...fields}` on one line.
+    /// Emits `{"t_ps": <t>, "event": <kind>, ...fields}` on one line, as a
+    /// single `write_all` (see the module-level concurrency contract).
     pub fn emit(&mut self, t_ps: u64, kind: &str, fields: &[(&str, Json)]) {
         let mut doc = Json::obj();
         doc.push("t_ps", t_ps).push("event", kind);
         for (k, v) in fields {
             doc.push(k, v.clone());
         }
-        let _ = writeln!(self.out, "{}", doc.to_string_compact());
+        let mut line = doc.to_string_compact();
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
     }
 
     /// Flushes buffered output.
@@ -73,10 +84,14 @@ impl TraceSink {
         TraceSink { out, lines: 0 }
     }
 
-    /// Writes one trace line (no trailing newline needed).
+    /// Writes one trace line (no trailing newline needed) as a single
+    /// `write_all` (see the module-level concurrency contract).
     pub fn line(&mut self, text: &str) {
         self.lines += 1;
-        let _ = writeln!(self.out, "{text}");
+        let mut line = String::with_capacity(text.len() + 1);
+        line.push_str(text);
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
     }
 
     /// Number of lines written so far.
@@ -94,6 +109,57 @@ impl TraceSink {
 impl Drop for TraceSink {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+/// A clonable `Write` that serializes every call through one mutex —
+/// the writer-side lock parallel sweep workers share when several
+/// per-worker sinks must target the same file or stream. Combined with the
+/// sinks' one-`write_all`-per-line contract, concurrent emitters produce
+/// whole interleaved lines, never spliced partial ones.
+#[derive(Debug)]
+pub struct LockedWriter<W: Write + Send>(Arc<Mutex<W>>);
+
+// Manual impl: a handle clone shares the lock regardless of whether `W`
+// itself is `Clone` (derive would demand `W: Clone`).
+impl<W: Write + Send> Clone for LockedWriter<W> {
+    fn clone(&self) -> Self {
+        LockedWriter(Arc::clone(&self.0))
+    }
+}
+
+impl<W: Write + Send> LockedWriter<W> {
+    /// Wraps `inner` in a shared lock.
+    pub fn new(inner: W) -> Self {
+        LockedWriter(Arc::new(Mutex::new(inner)))
+    }
+}
+
+impl<W: Write + Send + 'static> LockedWriter<W> {
+    /// A boxed `Write` handle sharing this lock (sink constructors take
+    /// `Box<dyn Write>`).
+    pub fn writer(&self) -> Box<dyn Write>
+    where
+        W: 'static,
+    {
+        Box::new(self.clone())
+    }
+}
+
+impl<W: Write + Send> Write for LockedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("locked writer poisoned").write(buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.0
+            .lock()
+            .expect("locked writer poisoned")
+            .write_all(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("locked writer poisoned").flush()
     }
 }
 
@@ -195,6 +261,35 @@ mod tests {
             sink.line("100 ACT sc0 ba0 row0");
         }
         assert_eq!(buf.contents(), "100 ACT sc0 ba0 row0\n");
+    }
+
+    #[test]
+    fn locked_writer_keeps_concurrent_lines_whole() {
+        let shared = LockedWriter::new(Vec::<u8>::new());
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let mut handle = shared.clone();
+                scope.spawn(move || {
+                    let mut sink = EventSink::new(Box::new(handle.clone()));
+                    for i in 0..50u64 {
+                        sink.emit(i, "tick", &[("worker", Json::U64(u64::from(worker)))]);
+                    }
+                    // Exercise the raw Write path too.
+                    let _ = handle.write_all(format!("w{worker} done\n").as_bytes());
+                });
+            }
+        });
+        let bytes = shared.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4 * 51, "every line intact, none spliced");
+        for line in lines {
+            if line.starts_with('{') {
+                Json::parse(line).expect("parseable JSONL under concurrency");
+            } else {
+                assert!(line.ends_with("done"), "torn plain line: {line:?}");
+            }
+        }
     }
 
     #[test]
